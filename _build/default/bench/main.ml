@@ -1,0 +1,494 @@
+(* Experiment harness: regenerates every table and figure of the
+   paper's evaluation (Section 6).  Run with no arguments for the full
+   set, or with a subset of: table1 table2 fig14 fig15 fig16 fig17
+   fig18 fig19 micro.
+
+   Absolute numbers come from our synthetic workloads and VLIW timing
+   model; the claims under test are the paper's *shapes*: which scheme
+   wins, by roughly what factor, and where the costs sit.  Paper
+   reference values are printed beside every measured series; see
+   EXPERIMENTS.md for the recorded comparison. *)
+
+let fig15_scale = 40
+let fig18_scale = 400
+let fig18_benchmarks = [ "wupwise"; "mesa"; "ammp" ]
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let schemes_fig15 =
+  [ Smarq.Scheme.Smarq 64; Smarq.Scheme.Smarq 16; Smarq.Scheme.Alat ]
+
+let run_bench ?(scale = fig15_scale) scheme (b : Workload.Specfp.bench) =
+  let program = Workload.Specfp.program ~scale b in
+  Smarq.run_program ~fuel:1_000_000_000 ~scheme program
+
+(* ---- Table 1: qualitative comparison of HW alias detection ---- *)
+
+let table1 () =
+  hr "Table 1: comparison between HW alias detection schemes";
+  let detectors =
+    [
+      ("Efficeon", Hw.Efficeon.detector (Hw.Efficeon.create ()));
+      ("Itanium", Hw.Alat.detector (Hw.Alat.create ()));
+      ("Order-Based", Hw.Queue.detector (Hw.Queue.create ~size:64));
+    ]
+  in
+  Printf.printf "%-24s %-14s %-12s %-14s %s\n" "" "Mechanism" "Scalability"
+    "False positive" "Detects store-store";
+  List.iter
+    (fun (name, (d : Hw.Detector.t)) ->
+      let c = d.Hw.Detector.caps in
+      Printf.printf "%-24s %-14s %-12s %-14s %s\n" name c.Hw.Detector.scheme
+        (if c.Hw.Detector.scalable then "Good" else "Poor")
+        (if c.Hw.Detector.false_positives then "Yes" else "No")
+        (if c.Hw.Detector.detects_store_store then "Yes" else "No"))
+    detectors;
+  print_newline ();
+  Printf.printf
+    "paper: Efficeon bit-mask = poor scaling / no FP / st-st yes;\n\
+    \       Itanium ALAT = good scaling / FP yes / st-st no;\n\
+    \       order-based = good scaling / no FP / st-st yes  -- matched.\n"
+
+(* ---- Table 2: VLIW architecture parameters ---- *)
+
+let table2 () =
+  hr "Table 2: VLIW architecture parameters";
+  Format.printf "%a@." Vliw.Config.pp Vliw.Config.default
+
+(* ---- Figure 14: memory operations per superblock ---- *)
+
+let fig14 () =
+  hr "Figure 14: average memory operations per superblock";
+  Printf.printf "%-10s %s\n" "benchmark" "mem ops / superblock";
+  let total = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (b : Workload.Specfp.bench) ->
+      let r = run_bench ~scale:1 (Smarq.Scheme.Smarq 64) b in
+      let v = Runtime.Stats.mem_ops_per_superblock r.Runtime.Driver.stats in
+      total := !total +. v;
+      incr n;
+      Printf.printf "%-10s %6.1f\n" b.Workload.Specfp.name v)
+    Workload.Specfp.suite;
+  Printf.printf "%-10s %6.1f\n" "average" (!total /. float_of_int !n);
+  Printf.printf
+    "paper: tens of memory operations per superblock, with ammp the\n\
+     largest (its big superblocks drive the register-count scaling).\n"
+
+(* ---- Figure 15: speedups of the three schemes over no detection ---- *)
+
+let speedup_row b =
+  let baseline = run_bench Smarq.Scheme.None_ b in
+  let base = baseline.Runtime.Driver.stats.Runtime.Stats.total_cycles in
+  List.map
+    (fun s ->
+      let r = run_bench s b in
+      ( Smarq.Scheme.name s,
+        float_of_int base
+        /. float_of_int r.Runtime.Driver.stats.Runtime.Stats.total_cycles ))
+    schemes_fig15
+
+let fig15 () =
+  hr "Figure 15: speedup with different alias detection (vs none)";
+  Printf.printf "%-10s %9s %9s %9s\n" "benchmark" "SMARQ" "SMARQ16" "Itanium";
+  let sums = Array.make 3 0.0 in
+  let n = ref 0 in
+  List.iter
+    (fun (b : Workload.Specfp.bench) ->
+      let row = speedup_row b in
+      incr n;
+      List.iteri (fun i (_, v) -> sums.(i) <- sums.(i) +. log v) row;
+      match row with
+      | [ (_, a); (_, b16); (_, c) ] ->
+        Printf.printf "%-10s %9.3f %9.3f %9.3f\n" b.Workload.Specfp.name a b16
+          c
+      | _ -> ())
+    Workload.Specfp.suite;
+  let geo i = exp (sums.(i) /. float_of_int !n) in
+  Printf.printf "%-10s %9.3f %9.3f %9.3f\n" "average" (geo 0) (geo 1) (geo 2);
+  Printf.printf
+    "paper: average 1.39 / 1.29 / 1.26; ammp gains ~30%% from 64-vs-16\n\
+     registers and ~47%% over the Itanium-like scheme.\n"
+
+(* ---- Figure 16: impact of disabling store reordering ---- *)
+
+let fig16 () =
+  hr "Figure 16: impact of disabling store reordering (SMARQ64)";
+  Printf.printf "%-10s %10s %12s %9s\n" "benchmark" "with (cyc)"
+    "without (cyc)" "impact";
+  let sum = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (b : Workload.Specfp.bench) ->
+      let w = run_bench (Smarq.Scheme.Smarq 64) b in
+      let wo = run_bench (Smarq.Scheme.Smarq_no_store_reorder 64) b in
+      let c1 = w.Runtime.Driver.stats.Runtime.Stats.total_cycles in
+      let c2 = wo.Runtime.Driver.stats.Runtime.Stats.total_cycles in
+      let impact = (100.0 *. float_of_int c2 /. float_of_int c1) -. 100.0 in
+      sum := !sum +. impact;
+      incr n;
+      Printf.printf "%-10s %10d %12d %+8.1f%%\n" b.Workload.Specfp.name c1 c2
+        impact)
+    Workload.Specfp.suite;
+  Printf.printf "%-10s %10s %12s %+8.1f%%\n" "average" "" ""
+    (!sum /. float_of_int !n);
+  Printf.printf
+    "paper: average +2.6%%, mesa +13%%; ammp slightly negative (its\n\
+     reordered stores occasionally alias at runtime and roll back).\n"
+
+(* ---- Figure 17: alias register working set ---- *)
+
+let fig17 () =
+  hr "Figure 17: alias register working set (normalized to #mem ops)";
+  Printf.printf "%-10s %8s %8s %12s\n" "benchmark" "P-bits" "SMARQ"
+    "lower bound";
+  let acc = ref Sched.Working_set.zero in
+  List.iter
+    (fun (b : Workload.Specfp.bench) ->
+      let r = run_bench ~scale:1 (Smarq.Scheme.Smarq 64) b in
+      let ws = r.Runtime.Driver.stats.Runtime.Stats.working_set in
+      acc := Sched.Working_set.add !acc ws;
+      let norm v =
+        float_of_int v
+        /. float_of_int (max 1 ws.Sched.Working_set.program_order)
+      in
+      Printf.printf "%-10s %8.2f %8.2f %12.2f\n" b.Workload.Specfp.name
+        (norm ws.Sched.Working_set.p_bit_order)
+        (norm ws.Sched.Working_set.smarq)
+        (norm ws.Sched.Working_set.lower_bound))
+    Workload.Specfp.suite;
+  let ws = !acc in
+  let norm v =
+    float_of_int v /. float_of_int (max 1 ws.Sched.Working_set.program_order)
+  in
+  Printf.printf "%-10s %8.2f %8.2f %12.2f\n" "average"
+    (norm ws.Sched.Working_set.p_bit_order)
+    (norm ws.Sched.Working_set.smarq)
+    (norm ws.Sched.Working_set.lower_bound);
+  Printf.printf
+    "paper: SMARQ ~0.26 of program-order allocation (74%% reduction),\n\
+     ~25%% below P-bit-only allocation, and close to the live-range\n\
+     lower bound.\n"
+
+(* ---- Figure 18: optimization overhead ---- *)
+
+let fig18 () =
+  hr "Figure 18: optimization overhead (% of execution time)";
+  Printf.printf "%-10s %14s %14s\n" "benchmark" "optimization" "scheduling";
+  let s1 = ref 0.0 and s2 = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun name ->
+      let b = Workload.Specfp.find name in
+      let r = run_bench ~scale:fig18_scale (Smarq.Scheme.Smarq 64) b in
+      let opt, sched =
+        Runtime.Stats.optimize_fraction r.Runtime.Driver.stats
+      in
+      s1 := !s1 +. opt;
+      s2 := !s2 +. sched;
+      incr n;
+      Printf.printf "%-10s %13.3f%% %13.3f%%\n" name (100.0 *. opt)
+        (100.0 *. sched))
+    fig18_benchmarks;
+  Printf.printf "%-10s %13.3f%% %13.3f%%\n" "average"
+    (100.0 *. !s1 /. float_of_int !n)
+    (100.0 *. !s2 /. float_of_int !n);
+  Printf.printf
+    "paper: ~0.05%% overall, about half of it in scheduling.  Overhead\n\
+     decays with region reuse; our runs are ~10^4 region executions vs\n\
+     SPEC's ~10^8, so the measured fraction sits higher at the same\n\
+     per-instruction optimizer cost.\n"
+
+(* ---- Figure 19: constraint and AMOV statistics ---- *)
+
+let fig19 () =
+  hr "Figure 19: constraints per memory operation";
+  Printf.printf "%-10s %8s %8s %9s %9s\n" "benchmark" "check" "anti"
+    "amov(new)" "amov(clr)";
+  let tc = ref 0 and ta = ref 0 and tm = ref 0 and tf = ref 0 and tk = ref 0 in
+  List.iter
+    (fun (b : Workload.Specfp.bench) ->
+      let r = run_bench ~scale:1 (Smarq.Scheme.Smarq 64) b in
+      let st = r.Runtime.Driver.stats in
+      let chk, anti = Runtime.Stats.constraints_per_mem_op st in
+      tc := !tc + st.Runtime.Stats.check_constraints;
+      ta := !ta + st.Runtime.Stats.anti_constraints;
+      tm := !tm + st.Runtime.Stats.superblock_mem_ops;
+      tf := !tf + st.Runtime.Stats.amov_fresh;
+      tk := !tk + st.Runtime.Stats.amov_clear;
+      Printf.printf "%-10s %8.2f %8.2f %9d %9d\n" b.Workload.Specfp.name chk
+        anti st.Runtime.Stats.amov_fresh st.Runtime.Stats.amov_clear)
+    Workload.Specfp.suite;
+  Printf.printf "%-10s %8.2f %8.2f %9d %9d\n" "average"
+    (float_of_int !tc /. float_of_int (max 1 !tm))
+    (float_of_int !ta /. float_of_int (max 1 !tm))
+    !tf !tk;
+  Printf.printf
+    "paper: ~1.3 check- and ~0.1 anti-constraints per memory operation\n\
+     (a very sparse constraint graph); AMOVs are rare and often only\n\
+     clear a register rather than take a new one.\n"
+
+(* ---- Bechamel microbenchmarks: optimizer cost, supporting the
+   "fast algorithm" claim behind Figure 18 ---- *)
+
+let micro () =
+  hr "Microbenchmarks: scheduling + allocation cost (host time)";
+  let make_superblock n_mem =
+    let params =
+      Workload.Genprog.
+        {
+          n_instrs = n_mem * 2;
+          mem_fraction = 0.5;
+          store_fraction = 0.4;
+          n_bases = 4;
+          collide_fraction = 0.0;
+          side_exit_every = None;
+        }
+    in
+    fst (Workload.Genprog.superblock ~seed:42 ~params)
+  in
+  let latency = Vliw.Config.latency Vliw.Config.default in
+  let optimize_once sb () =
+    let fresh_id = ref 100_000 in
+    ignore
+      (Opt.Optimizer.optimize
+         ~policy:(Sched.Policy.smarq ~ar_count:64)
+         ~issue_width:4 ~mem_ports:2 ~latency ~fresh_id sb)
+  in
+  let tests =
+    List.map
+      (fun n ->
+        let sb = make_superblock n in
+        Bechamel.Test.make
+          ~name:(Printf.sprintf "optimize %3d-instr superblock" (n * 2))
+          (Bechamel.Staged.stage (optimize_once sb)))
+      [ 8; 16; 32; 64; 128 ]
+  in
+  let instance = Bechamel.Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:2000
+      ~quota:(Bechamel.Time.second 0.25)
+      ()
+  in
+  let ols =
+    Bechamel.Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results =
+    Bechamel.Benchmark.all cfg [ instance ]
+      (Bechamel.Test.make_grouped ~name:"optimizer" tests)
+  in
+  let analyzed = Bechamel.Analyze.all ols instance results in
+  let rows =
+    Hashtbl.fold (fun name o acc -> (name, o) :: acc) analyzed []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ols_result) ->
+      match Bechamel.Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "%-44s %12.1f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-44s (no estimate)\n" name)
+    rows;
+  Printf.printf
+    "allocation itself is a single topological pass; the all-pairs\n\
+     dependence scan dominates at large sizes (quadratic), but at real\n\
+     superblock sizes (tens of memory operations) one optimization\n\
+     costs microseconds -- why the paper's overhead is noise.\n"
+
+(* ---- Ablation: SMARQ vs program-order allocation (Section 2.4/2.5)
+   on identical ordered-queue hardware ---- *)
+
+let ablation () =
+  hr "Ablation: SMARQ vs straightforward program-order allocation";
+  Printf.printf "%-10s %12s %12s %10s %10s %8s %8s
+" "benchmark" "smarq cyc"
+    "naive cyc" "smarq chk" "naive chk" "ws(s)" "ws(n)";
+  List.iter
+    (fun (b : Workload.Specfp.bench) ->
+      let s = run_bench ~scale:4 (Smarq.Scheme.Smarq 64) b in
+      let n = run_bench ~scale:4 (Smarq.Scheme.Naive_order 64) b in
+      let ss = s.Runtime.Driver.stats and ns = n.Runtime.Driver.stats in
+      Printf.printf "%-10s %12d %12d %10d %10d %8d %8d
+"
+        b.Workload.Specfp.name ss.Runtime.Stats.total_cycles
+        ns.Runtime.Stats.total_cycles ss.Runtime.Stats.alias_checks
+        ns.Runtime.Stats.alias_checks
+        ss.Runtime.Stats.working_set.Sched.Working_set.smarq
+        ns.Runtime.Stats.working_set.Sched.Working_set.smarq)
+    Workload.Specfp.suite;
+  Printf.printf
+    "paper (Sections 2.4-2.5): program-order allocation wastes alias
+     registers (larger working set), performs unnecessary checks (the
+     energy argument), and cannot support load/store elimination at
+     all -- SMARQ's constraint-order allocation fixes all three on the
+     same hardware.
+"
+
+(* ---- Robustness: the Figure 15 ordering with a real memory
+   hierarchy instead of a flat load latency ---- *)
+
+let cache_exp () =
+  hr "Robustness: scheme ordering with the cache hierarchy enabled";
+  let config =
+    Vliw.Config.with_cache Vliw.Config.default
+      (Some Vliw.Cache.default_config)
+  in
+  Printf.printf "%-10s %9s %9s %9s
+" "benchmark" "SMARQ" "SMARQ16" "Itanium";
+  let sums = Array.make 3 0.0 in
+  let n = ref 0 in
+  List.iter
+    (fun (b : Workload.Specfp.bench) ->
+      let program = Workload.Specfp.program ~scale:10 b in
+      let base =
+        (Smarq.run_program ~config ~fuel:1_000_000_000
+           ~scheme:Smarq.Scheme.None_ program).Runtime.Driver.stats
+          .Runtime.Stats.total_cycles
+      in
+      incr n;
+      Printf.printf "%-10s" b.Workload.Specfp.name;
+      List.iteri
+        (fun i s ->
+          let c =
+            (Smarq.run_program ~config ~fuel:1_000_000_000 ~scheme:s program)
+              .Runtime.Driver.stats.Runtime.Stats.total_cycles
+          in
+          let sp = float_of_int base /. float_of_int c in
+          sums.(i) <- sums.(i) +. log sp;
+          Printf.printf " %9.3f" sp)
+        schemes_fig15;
+      print_newline ())
+    Workload.Specfp.suite;
+  Printf.printf "%-10s" "average";
+  Array.iter (fun s -> Printf.printf " %9.3f" (exp (s /. float_of_int !n))) sums;
+  print_newline ();
+  Printf.printf
+    "miss stalls shrink every speedup (latency hiding matters less when
+     the machine stalls on misses anyway) but the ordering of the three
+     schemes must survive -- the paper's conclusion is not an artifact
+     of perfect memory.
+"
+
+(* ---- Ablation: how far does static analysis get without hardware?
+   (the related-work [13] question) ---- *)
+
+let static_exp () =
+  hr "Ablation: static constant-base disambiguation without hardware";
+  (* a direct-addressing-heavy workload where a fast static analysis
+     has something to find *)
+  let make ~iters =
+    let bld = Workload.Builder.create () in
+    let regs =
+      Workload.Kernels.
+        { a = Ir.Reg.R 1; b = Ir.Reg.R 2; c = Ir.Reg.R 3; idx = Ir.Reg.R 4 }
+    in
+    Workload.Builder.straight bld "init"
+      (Workload.Builder.instrs bld
+         [
+           Ir.Instr.Mov (regs.Workload.Kernels.a, Ir.Instr.Imm 0x100000);
+           Ir.Instr.Mov (regs.Workload.Kernels.b, Ir.Instr.Imm 0x200000);
+           Ir.Instr.Mov (regs.Workload.Kernels.c, Ir.Instr.Imm 0x300000);
+           Ir.Instr.Mov (regs.Workload.Kernels.idx, Ir.Instr.Imm iters);
+         ])
+      ~next:"body0";
+    Workload.Builder.straight bld "body0"
+      (Workload.Kernels.direct bld regs ~region:0x500000 ~width:8 ~pairs:4 ())
+      ~next:"body1";
+    Workload.Builder.loop_back bld "body1"
+      (Workload.Kernels.stream bld regs ~width:8 ~lanes:2 ~depth:3 ()
+      @ Workload.Kernels.direct bld regs ~region:0x600000 ~width:8 ~pairs:3 ()
+      @ Workload.Kernels.bump_bases bld regs ~stride:256)
+      ~counter:regs.Workload.Kernels.idx ~back_to:"body0" ~exit_to:"done"
+      ~iters;
+    Workload.Builder.add_block bld "done" [] Ir.Block.Halt;
+    Workload.Builder.program bld ~entry:"init"
+  in
+  let program = make ~iters:8000 in
+  Printf.printf "%-14s %12s %9s
+" "scheme" "cycles" "speedup";
+  let base = ref 0 in
+  List.iter
+    (fun s ->
+      let r = Smarq.run_program ~fuel:1_000_000_000 ~scheme:s program in
+      let c = r.Runtime.Driver.stats.Runtime.Stats.total_cycles in
+      if s = Smarq.Scheme.None_ then base := c;
+      Printf.printf "%-14s %12d %9.3f
+" (Smarq.Scheme.name s) c
+        (if !base = 0 then 1.0 else float_of_int !base /. float_of_int c))
+    [ Smarq.Scheme.None_; Smarq.Scheme.None_static; Smarq.Scheme.Smarq 64 ];
+  Printf.printf
+    "paper (Section 7, its [13]/[14]): fast binary-level alias analysis
+     resolves only direct accesses; it recovers part of the gap on this
+     direct-heavy kernel, but hardware detection is still needed for
+     the dynamic (base-register) majority.
+"
+
+(* ---- Extension: larger regions via loop unrolling (the conclusion's
+   "SMARQ is even more promising for larger region and loop level
+   optimizations") ---- *)
+
+let unroll_exp () =
+  hr "Extension: loop unrolling widens the register-count gap";
+  Printf.printf "%-10s %7s %12s %12s %9s %8s
+" "benchmark" "unroll"
+    "smarq64 cyc" "smarq16 cyc" "gap" "nonspec16";
+  List.iter
+    (fun name ->
+      List.iter
+        (fun unroll ->
+          let b = Workload.Specfp.find name in
+          let prog = Workload.Specfp.program ~scale:30 b in
+          let region scheme =
+            let st =
+              (Smarq.run_program ~fuel:1_000_000_000 ~unroll ~scheme prog)
+                .Runtime.Driver.stats
+            in
+            (st.Runtime.Stats.region_cycles,
+             st.Runtime.Stats.nonspec_mode_regions)
+          in
+          let c64, _ = region (Smarq.Scheme.Smarq 64) in
+          let c16, ns16 = region (Smarq.Scheme.Smarq 16) in
+          Printf.printf "%-10s %7d %12d %12d %+8.1f%% %8d
+" name unroll c64
+            c16
+            (100.0 *. ((float_of_int c16 /. float_of_int c64) -. 1.0))
+            ns16)
+        [ 1; 2; 3 ])
+    [ "wupwise"; "swim" ];
+  Printf.printf
+    "larger regions schedule slightly better under 64 registers and
+     force the 16-register queue into non-speculation mode: the
+     scalability argument of Sections 2.2/6.1, extrapolated the way the
+     paper's conclusion suggests.
+"
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("fig14", fig14);
+    ("fig15", fig15);
+    ("fig16", fig16);
+    ("fig17", fig17);
+    ("fig18", fig18);
+    ("fig19", fig19);
+    ("ablation", ablation);
+    ("cache", cache_exp);
+    ("static", static_exp);
+    ("unroll", unroll_exp);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some fn -> fn ()
+      | None ->
+        Printf.eprintf "unknown experiment %s (have: %s)\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 1)
+    requested

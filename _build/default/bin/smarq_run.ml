@@ -1,0 +1,178 @@
+(* smarq_run: command-line driver for the SMARQ dynamic optimization
+   system.
+
+   smarq_run list                          -- benchmarks and schemes
+   smarq_run run -b wupwise -s smarq64     -- run one benchmark
+   smarq_run compare -b mesa --scale 5     -- all schemes side by side
+   smarq_run region -b ammp -s smarq64     -- show an annotated region *)
+
+open Cmdliner
+
+let scheme_conv =
+  let parse s =
+    try Ok (Smarq.Scheme.of_string s) with Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Smarq.Scheme.name s))
+
+let bench_arg =
+  let doc = "Benchmark name (see `smarq_run list')." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let scheme_arg =
+  let doc =
+    "Alias-detection scheme: smarq64, smarq16, smarqN, alat, efficeon, none."
+  in
+  Arg.(
+    value
+    & opt scheme_conv (Smarq.Scheme.Smarq 64)
+    & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let scale_arg =
+  let doc = "Multiply the benchmark's iteration count." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc)
+
+let find_bench name =
+  match Workload.Specfp.find name with
+  | b -> b
+  | exception Not_found ->
+    Printf.eprintf "unknown benchmark %S; try `smarq_run list'\n" name;
+    exit 1
+
+let list_cmd =
+  let run () =
+    print_endline "benchmarks:";
+    List.iter
+      (fun (b : Workload.Specfp.bench) ->
+        Printf.printf "  %-10s %s\n" b.Workload.Specfp.name
+          b.Workload.Specfp.description)
+      Workload.Specfp.suite;
+    print_endline "\nschemes:";
+    List.iter
+      (fun s -> Printf.printf "  %s\n" (Smarq.Scheme.name s))
+      Smarq.Scheme.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and schemes")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run bench scheme scale =
+    let b = find_bench bench in
+    let program = Workload.Specfp.program ~scale b in
+    let r = Smarq.run_program ~fuel:2_000_000_000 ~scheme program in
+    Printf.printf "%s under %s (scale %d):\n" bench (Smarq.Scheme.name scheme)
+      scale;
+    Runtime.Stats.pp Format.std_formatter r.Runtime.Driver.stats;
+    Format.print_flush ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one benchmark under one scheme")
+    Term.(const run $ bench_arg $ scheme_arg $ scale_arg)
+
+let compare_cmd =
+  let run bench scale =
+    let b = find_bench bench in
+    let program = Workload.Specfp.program ~scale b in
+    let schemes =
+      [
+        Smarq.Scheme.None_;
+        Smarq.Scheme.Smarq 64;
+        Smarq.Scheme.Smarq 16;
+        Smarq.Scheme.Alat;
+        Smarq.Scheme.Efficeon;
+      ]
+    in
+    let baseline = ref 0 in
+    Printf.printf "%-12s %12s %9s %9s %9s\n" "scheme" "cycles" "speedup"
+      "rollback" "reopts";
+    List.iter
+      (fun s ->
+        let r = Smarq.run_program ~fuel:2_000_000_000 ~scheme:s program in
+        let st = r.Runtime.Driver.stats in
+        if s = Smarq.Scheme.None_ then
+          baseline := st.Runtime.Stats.total_cycles;
+        let speedup =
+          if !baseline = 0 then 0.0
+          else
+            float_of_int !baseline
+            /. float_of_int st.Runtime.Stats.total_cycles
+        in
+        Printf.printf "%-12s %12d %9.3f %9d %9d\n" (Smarq.Scheme.name s)
+          st.Runtime.Stats.total_cycles speedup st.Runtime.Stats.rollbacks
+          st.Runtime.Stats.reoptimizations)
+      schemes
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run one benchmark under every scheme")
+    Term.(const run $ bench_arg $ scale_arg)
+
+let region_cmd =
+  let run bench scheme =
+    let b = find_bench bench in
+    let program = Workload.Specfp.program b in
+    (* profile until the first body block is hot, then form + optimize *)
+    let profiler = Frontend.Profiler.create ~hot_threshold:50 () in
+    let machine = Vliw.Machine.create () in
+    let rec warm label steps =
+      if steps > 5000 then ()
+      else begin
+        Frontend.Profiler.note_execution profiler label;
+        match
+          Frontend.Interp.exec_block machine (Ir.Program.block program label)
+        with
+        | Some next -> warm next (steps + 1)
+        | None -> ()
+      end
+    in
+    warm program.Ir.Program.entry 0;
+    let seed =
+      List.find
+        (fun l -> Frontend.Profiler.is_hot profiler l)
+        (Ir.Program.labels program)
+    in
+    let liveness = Frontend.Liveness.analyze program in
+    let fresh_id = ref (Ir.Program.max_instr_id program + 1) in
+    let sb =
+      Frontend.Region_form.form ~program ~liveness ~profiler ~fresh_id seed
+    in
+    Format.printf "--- superblock ---@.%a@." Ir.Superblock.pp sb;
+    let policy =
+      match scheme with
+      | Smarq.Scheme.Smarq n -> Sched.Policy.smarq ~ar_count:n
+      | Smarq.Scheme.Smarq_no_store_reorder n ->
+        Sched.Policy.smarq_no_store_reorder ~ar_count:n
+      | Smarq.Scheme.Naive_order n -> Sched.Policy.naive_order ~ar_count:n
+      | Smarq.Scheme.Alat -> Sched.Policy.alat ()
+      | Smarq.Scheme.Efficeon -> Sched.Policy.efficeon ()
+      | Smarq.Scheme.None_ -> Sched.Policy.none ()
+      | Smarq.Scheme.None_static -> Sched.Policy.none_with_analysis ()
+    in
+    let o =
+      Opt.Optimizer.optimize ~policy ~issue_width:4 ~mem_ports:2
+        ~latency:(Vliw.Config.latency Vliw.Config.default)
+        ~fresh_id sb
+    in
+    Format.printf "--- optimized region (%s) ---@.%a@."
+      (Smarq.Scheme.name scheme) Ir.Region.pp o.Opt.Optimizer.region;
+    let st = o.Opt.Optimizer.stats.Opt.Optimizer.sched_stats in
+    Printf.printf
+      "schedule %d cycles; %d check / %d anti constraints; AR window %d; %d \
+       loads + %d stores eliminated\n"
+      st.Sched.List_sched.schedule_length st.Sched.List_sched.check_constraints
+      st.Sched.List_sched.anti_constraints st.Sched.List_sched.ar_working_set
+      o.Opt.Optimizer.stats.Opt.Optimizer.loads_eliminated
+      o.Opt.Optimizer.stats.Opt.Optimizer.stores_eliminated
+  in
+  Cmd.v
+    (Cmd.info "region"
+       ~doc:"Show the annotated translation of a benchmark's hot region")
+    Term.(const run $ bench_arg $ scheme_arg)
+
+let () =
+  let info =
+    Cmd.info "smarq_run" ~version:"1.0"
+      ~doc:"SMARQ dynamic binary optimization system"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; compare_cmd; region_cmd ]))

@@ -1,0 +1,1 @@
+examples/alias_detection_demo.ml: Format Hw Ir Opt Printf Sched Vliw

@@ -1,0 +1,1 @@
+examples/alias_detection_demo.mli:

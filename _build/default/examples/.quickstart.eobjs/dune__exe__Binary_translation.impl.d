@@ -1,0 +1,1 @@
+examples/binary_translation.ml: Array Binary Bytes Char Frontend Ir List Printf Runtime Smarq Sys Vliw Workload

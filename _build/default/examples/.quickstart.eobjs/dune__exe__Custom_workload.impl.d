@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Ir List Printf Runtime Sched Smarq Workload

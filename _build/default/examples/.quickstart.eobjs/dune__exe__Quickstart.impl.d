@@ -1,0 +1,1 @@
+examples/quickstart.ml: Frontend Ir List Printf Runtime Smarq Vliw Workload

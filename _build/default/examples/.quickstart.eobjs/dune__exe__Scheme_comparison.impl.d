@@ -1,0 +1,1 @@
+examples/scheme_comparison.ml: Array Frontend List Printf Runtime Sched Smarq String Sys Vliw Workload

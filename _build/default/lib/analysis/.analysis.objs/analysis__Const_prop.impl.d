@@ -1,0 +1,1 @@
+lib/analysis/const_prop.ml: Hashtbl Ir List

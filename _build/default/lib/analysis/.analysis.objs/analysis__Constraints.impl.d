@@ -1,0 +1,1 @@
+lib/analysis/constraints.ml: Format Hashtbl Int List Option Printf Set

@@ -1,0 +1,1 @@
+lib/analysis/cycle_detect.ml: Hashtbl List Option

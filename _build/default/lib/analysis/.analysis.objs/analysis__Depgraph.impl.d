@@ -1,0 +1,1 @@
+lib/analysis/depgraph.ml: Array Format Hashtbl Ir List May_alias Option

@@ -1,0 +1,1 @@
+lib/analysis/depgraph.mli: Format Ir May_alias

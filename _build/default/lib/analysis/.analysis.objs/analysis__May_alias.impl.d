@@ -1,0 +1,1 @@
+lib/analysis/may_alias.ml: Array Const_prop Format Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/analysis/may_alias.mli: Const_prop Format Ir

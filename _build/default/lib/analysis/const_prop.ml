@@ -1,0 +1,67 @@
+module I = Ir.Instr
+module RM = Ir.Reg.Map
+
+type t = {
+  (* per memory instruction: known constant value of its base register
+     just before it executes *)
+  base_facts : (int, int) Hashtbl.t;
+}
+
+let eval_operand env = function
+  | I.Imm n -> Some n
+  | I.Reg r -> RM.find_opt r env
+
+let transfer env (i : I.t) =
+  let kill env = List.fold_left (fun e r -> RM.remove r e) env (I.defs i) in
+  match i.op with
+  | I.Mov (d, src) ->
+    (match eval_operand env src with
+    | Some v -> RM.add d v (kill env)
+    | None -> kill env)
+  | I.Unop_neg (d, src) ->
+    (match eval_operand env src with
+    | Some v -> RM.add d (-v) (kill env)
+    | None -> kill env)
+  | I.Binop (op, d, a, b) ->
+    (match eval_operand env a, eval_operand env b with
+    | Some va, Some vb ->
+      let f =
+        match op with
+        | I.Add -> ( + )
+        | I.Sub -> ( - )
+        | I.Mul -> ( * )
+        | I.Div -> fun x y -> if y = 0 then 0 else x / y
+        | I.And -> ( land )
+        | I.Or -> ( lor )
+        | I.Xor -> ( lxor )
+        | I.Shl -> fun x y -> x lsl (y land 31)
+        | I.Shr -> fun x y -> x asr (y land 31)
+      in
+      RM.add d (f va vb) (kill env)
+    | _ -> kill env)
+  | I.Fbinop _ | I.Cmp _ | I.Load _ -> kill env
+  | I.Nop | I.Store _ | I.Branch _ | I.Jump _ | I.Exit _ | I.Rotate _
+  | I.Amov _ ->
+    env
+
+let analyze ~body =
+  let base_facts = Hashtbl.create 64 in
+  let _ =
+    List.fold_left
+      (fun env (i : I.t) ->
+        (match I.mem_addr i with
+        | Some a ->
+          (match RM.find_opt a.I.base env with
+          | Some v -> Hashtbl.replace base_facts i.id v
+          | None -> ())
+        | None -> ());
+        transfer env i)
+      RM.empty body
+  in
+  { base_facts }
+
+let base_value_at t ~instr_id reg =
+  ignore reg;
+  Hashtbl.find_opt t.base_facts instr_id
+
+let known_count t = Hashtbl.length t.base_facts

@@ -1,0 +1,24 @@
+(** Constant propagation over a superblock body — the "simple and fast
+    binary-level alias analysis" of the paper's related work (its
+    [13]): it can disambiguate only direct memory accesses, i.e. those
+    whose base register provably holds a compile-time constant at the
+    access.
+
+    A forward pass tracks registers holding known integers (from
+    immediate moves and arithmetic on known values).  {!May_alias} can
+    consume the facts to resolve cross-base pairs whose absolute
+    addresses are both known — the small subset of aliases static
+    analysis reaches, per the paper's argument that dynamic optimizers
+    must rely on hardware for the rest. *)
+
+type t
+
+val analyze : body:Ir.Instr.t list -> t
+
+val base_value_at : t -> instr_id:int -> Ir.Reg.t -> int option
+(** The constant value of [reg] immediately {e before} the instruction
+    with the given id executes, if provable. *)
+
+val known_count : t -> int
+(** Number of (instruction, base register) pairs resolved — a coverage
+    metric for experiments. *)

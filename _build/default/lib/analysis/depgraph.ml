@@ -1,0 +1,165 @@
+type kind =
+  | Real
+  | Extended
+
+type strength =
+  | Hard
+  | Speculative
+
+type edge = {
+  first : int;
+  second : int;
+  kind : kind;
+  strength : strength;
+}
+
+type elimination =
+  | Load_forwarded of {
+      source : int;
+      eliminated : int;
+    }
+  | Store_overwritten of {
+      eliminated : int;
+      overwriter : int;
+    }
+
+type t = {
+  all : edge list;
+  into : (int, edge list) Hashtbl.t;
+}
+
+let strength_of = function
+  | May_alias.Must_alias -> Some Hard
+  | May_alias.May_alias -> Some Speculative
+  | May_alias.No_alias -> None
+
+(* Real dependences: X before Y, may access same memory, >= 1 store. *)
+let real_edges ~body ~alias =
+  let mems = Array.of_list (List.filter Ir.Instr.is_memory body) in
+  let n = Array.length mems in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let x = mems.(i) and y = mems.(j) in
+      if Ir.Instr.is_store x || Ir.Instr.is_store y then
+        match strength_of (May_alias.verdict alias x y) with
+        | Some strength ->
+          acc := { first = x.id; second = y.id; kind = Real; strength } :: !acc
+        | None -> ()
+    done
+  done;
+  List.rev !acc
+
+let find_instr body id = List.find_opt (fun (i : Ir.Instr.t) -> i.id = id) body
+
+(* EXTENDED-DEPENDENCE 1: load Z forwarded from X; every intervening
+   store Y that may alias X yields Y ->dep X (backward order). *)
+let ext_load_forwarded ~alias ~source ~between =
+  List.filter_map
+    (fun (y : Ir.Instr.t) ->
+      if not (Ir.Instr.is_store y) then None
+      else
+        match May_alias.verdict alias y source with
+        | May_alias.No_alias -> None
+        | May_alias.Must_alias ->
+          Some
+            {
+              first = y.id;
+              second = source.Ir.Instr.id;
+              kind = Extended;
+              strength = Hard;
+            }
+        | May_alias.May_alias ->
+          Some
+            {
+              first = y.id;
+              second = source.Ir.Instr.id;
+              kind = Extended;
+              strength = Speculative;
+            })
+    between
+
+(* EXTENDED-DEPENDENCE 2: store X eliminated, overwritten by Z; every
+   intervening load Y that may alias Z yields Z ->dep Y. *)
+let ext_store_overwritten ~alias ~overwriter ~between =
+  List.filter_map
+    (fun (y : Ir.Instr.t) ->
+      if not (Ir.Instr.is_load y) then None
+      else
+        match May_alias.verdict alias overwriter y with
+        | May_alias.No_alias -> None
+        | May_alias.Must_alias ->
+          Some
+            {
+              first = overwriter.Ir.Instr.id;
+              second = y.id;
+              kind = Extended;
+              strength = Hard;
+            }
+        | May_alias.May_alias ->
+          Some
+            {
+              first = overwriter.Ir.Instr.id;
+              second = y.id;
+              kind = Extended;
+              strength = Speculative;
+            })
+    between
+
+let build ~body ~alias ?(eliminated = []) () =
+  let real = real_edges ~body ~alias in
+  let ext =
+    List.concat_map
+      (fun (elim, between) ->
+        match elim with
+        | Load_forwarded { source; eliminated = _ } ->
+          (match find_instr body source with
+          | Some src -> ext_load_forwarded ~alias ~source:src ~between
+          | None -> [])
+        | Store_overwritten { eliminated = _; overwriter } ->
+          (match find_instr body overwriter with
+          | Some ovw -> ext_store_overwritten ~alias ~overwriter:ovw ~between
+          | None -> []))
+      eliminated
+  in
+  (* Deduplicate: an extended edge may coincide with another extended
+     edge from a different elimination. *)
+  let seen = Hashtbl.create 64 in
+  let all =
+    List.filter
+      (fun e ->
+        let key = (e.first, e.second, e.kind) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      (real @ ext)
+  in
+  let into = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let l = Option.value (Hashtbl.find_opt into e.second) ~default:[] in
+      Hashtbl.replace into e.second (e :: l))
+    all;
+  Hashtbl.iter (fun k l -> Hashtbl.replace into k (List.rev l)) (Hashtbl.copy into);
+  { all; into }
+
+let edges t = t.all
+let edges_into t id = Option.value (Hashtbl.find_opt t.into id) ~default:[]
+
+let mem_dep_pairs t =
+  List.filter_map
+    (fun e ->
+      match e.kind with
+      | Real -> Some (e.first, e.second, e.strength)
+      | Extended -> None)
+    t.all
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%d ->dep %d (%s, %s)@." e.first e.second
+        (match e.kind with Real -> "real" | Extended -> "ext")
+        (match e.strength with Hard -> "hard" | Speculative -> "spec"))
+    t.all

@@ -1,0 +1,98 @@
+type verdict =
+  | No_alias
+  | Must_alias
+  | May_alias
+
+type t = {
+  position : (int, int) Hashtbl.t;  (* instr id -> body index *)
+  instrs : Ir.Instr.t array;  (* body, original order *)
+  def_positions : (Ir.Reg.t, int list) Hashtbl.t;  (* sorted ascending *)
+  known : (int * int, unit) Hashtbl.t;  (* normalized id pairs *)
+  const_facts : Const_prop.t option;
+}
+
+let norm_pair a b = if a <= b then (a, b) else (b, a)
+
+let analyze ?(known_alias = []) ?const_facts ~body () =
+  let instrs = Array.of_list body in
+  let position = Hashtbl.create (Array.length instrs * 2) in
+  Array.iteri (fun idx (i : Ir.Instr.t) -> Hashtbl.replace position i.id idx)
+    instrs;
+  let def_positions = Hashtbl.create 64 in
+  Array.iteri
+    (fun idx (i : Ir.Instr.t) ->
+      List.iter
+        (fun r ->
+          let l = Option.value (Hashtbl.find_opt def_positions r) ~default:[] in
+          Hashtbl.replace def_positions r (idx :: l))
+        (Ir.Instr.defs i))
+    instrs;
+  Hashtbl.iter
+    (fun r l -> Hashtbl.replace def_positions r (List.rev l))
+    (Hashtbl.copy def_positions);
+  let known = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) -> Hashtbl.replace known (norm_pair a b) ())
+    known_alias;
+  { position; instrs; def_positions; known; const_facts }
+
+let add_known_alias t a b = Hashtbl.replace t.known (norm_pair a b) ()
+
+(* Is [r] (re)defined at any body index in [lo, hi)? *)
+let defined_in t r ~lo ~hi =
+  match Hashtbl.find_opt t.def_positions r with
+  | None -> false
+  | Some l -> List.exists (fun k -> k >= lo && k < hi) l
+
+let ranges_overlap d1 w1 d2 w2 = d1 < d2 + w2 && d2 < d1 + w1
+
+(* Absolute-address verdict for direct accesses (both bases provably
+   constant at their instruction). *)
+let direct_verdict t (x : Ir.Instr.t) ax (y : Ir.Instr.t) ay =
+  match t.const_facts with
+  | None -> None
+  | Some facts ->
+    (match
+       ( Const_prop.base_value_at facts ~instr_id:x.Ir.Instr.id
+           ax.Ir.Instr.base,
+         Const_prop.base_value_at facts ~instr_id:y.Ir.Instr.id
+           ay.Ir.Instr.base )
+     with
+    | Some bx, Some by ->
+      let wx = Option.value (Ir.Instr.mem_width x) ~default:1 in
+      let wy = Option.value (Ir.Instr.mem_width y) ~default:1 in
+      if ranges_overlap (bx + ax.Ir.Instr.disp) wx (by + ay.Ir.Instr.disp) wy
+      then Some Must_alias
+      else Some No_alias
+    | _ -> None)
+
+let verdict t (x : Ir.Instr.t) (y : Ir.Instr.t) =
+  if Hashtbl.mem t.known (norm_pair x.id y.id) then Must_alias
+  else
+    match Ir.Instr.mem_addr x, Ir.Instr.mem_addr y with
+    | Some ax, Some ay ->
+      if not (Ir.Reg.equal ax.base ay.base) then begin
+        match direct_verdict t x ax y ay with
+        | Some v -> v
+        | None -> May_alias
+      end
+      else begin
+        match Hashtbl.find_opt t.position x.id, Hashtbl.find_opt t.position y.id
+        with
+        | Some px, Some py ->
+          let lo = min px py and hi = max px py in
+          if defined_in t ax.base ~lo ~hi then May_alias
+          else begin
+            let wx = Option.value (Ir.Instr.mem_width x) ~default:1 in
+            let wy = Option.value (Ir.Instr.mem_width y) ~default:1 in
+            if ranges_overlap ax.disp wx ay.disp wy then Must_alias
+            else No_alias
+          end
+        | _ -> May_alias
+      end
+    | _ -> No_alias
+
+let pp_verdict ppf = function
+  | No_alias -> Format.pp_print_string ppf "no-alias"
+  | Must_alias -> Format.pp_print_string ppf "must-alias"
+  | May_alias -> Format.pp_print_string ppf "may-alias"

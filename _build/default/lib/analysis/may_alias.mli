@@ -1,0 +1,44 @@
+(** Compile-time memory disambiguation for the dynamic optimizer.
+
+    Dynamic optimizers cannot afford real alias analysis (Section 1 of
+    the paper); what they can do cheaply is reason about addresses of
+    the form [base + disp]:
+
+    - same base register with no intervening redefinition of that base:
+      the displacement intervals decide exactly (disjoint → no alias,
+      overlapping → must alias);
+    - anything else → may alias, which the optimizer speculates away
+      and the hardware checks at runtime.
+
+    [known_alias] pairs — learned from alias exceptions — override the
+    verdict to must-alias so conservative re-optimization stops
+    speculating on them. *)
+
+type verdict =
+  | No_alias  (** provably disjoint; no dependence, no runtime check *)
+  | Must_alias  (** provably overlapping; hard dependence *)
+  | May_alias  (** unknown; speculation candidate *)
+
+type t
+
+val analyze :
+  ?known_alias:(int * int) list ->
+  ?const_facts:Const_prop.t ->
+  body:Ir.Instr.t list ->
+  unit ->
+  t
+(** [body] is the superblock body in original program order.
+    [known_alias] holds unordered instruction-id pairs to force to
+    {!Must_alias}.  [const_facts] lets direct (constant-base) accesses
+    be disambiguated across different base registers — the small win
+    static binary analysis can deliver (related work [13]). *)
+
+val verdict : t -> Ir.Instr.t -> Ir.Instr.t -> verdict
+(** Verdict for two memory operations of the analyzed body (order of
+    arguments is irrelevant).  Non-memory instructions yield
+    [No_alias]. *)
+
+val add_known_alias : t -> int -> int -> unit
+(** Record a runtime-detected alias pair. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

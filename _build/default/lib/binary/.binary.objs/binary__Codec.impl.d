@@ -1,0 +1,1 @@
+lib/binary/codec.ml: Array Bytes Hashtbl Image Int64 Ir List Printf String

@@ -1,0 +1,1 @@
+lib/binary/codec.mli: Ir

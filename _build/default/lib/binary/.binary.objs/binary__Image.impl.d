@@ -1,0 +1,1 @@
+lib/binary/image.ml: Array Bytes Int32

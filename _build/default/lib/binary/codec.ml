@@ -1,0 +1,385 @@
+module I = Ir.Instr
+
+exception Unencodable of string
+
+(* ---- opcodes ---- *)
+
+let op_nop = 0
+let op_mov = 1
+let op_neg = 2
+let op_binop_base = 10  (* + binop ordinal *)
+let op_fbinop_base = 20
+let op_cmp_base = 30
+let op_load = 40
+let op_store = 41
+let op_br = 50
+let op_jmp = 51
+let op_halt = 52
+
+let binop_ord = function
+  | I.Add -> 0
+  | I.Sub -> 1
+  | I.Mul -> 2
+  | I.Div -> 3
+  | I.And -> 4
+  | I.Or -> 5
+  | I.Xor -> 6
+  | I.Shl -> 7
+  | I.Shr -> 8
+
+let binop_of_ord = function
+  | 0 -> I.Add
+  | 1 -> I.Sub
+  | 2 -> I.Mul
+  | 3 -> I.Div
+  | 4 -> I.And
+  | 5 -> I.Or
+  | 6 -> I.Xor
+  | 7 -> I.Shl
+  | 8 -> I.Shr
+  | n -> invalid_arg (Printf.sprintf "Codec: bad binop ordinal %d" n)
+
+let fbinop_ord = function
+  | I.Fadd -> 0
+  | I.Fsub -> 1
+  | I.Fmul -> 2
+  | I.Fdiv -> 3
+
+let fbinop_of_ord = function
+  | 0 -> I.Fadd
+  | 1 -> I.Fsub
+  | 2 -> I.Fmul
+  | 3 -> I.Fdiv
+  | n -> invalid_arg (Printf.sprintf "Codec: bad fbinop ordinal %d" n)
+
+let cmp_ord = function
+  | I.Eq -> 0
+  | I.Ne -> 1
+  | I.Lt -> 2
+  | I.Le -> 3
+  | I.Gt -> 4
+  | I.Ge -> 5
+
+let cmp_of_ord = function
+  | 0 -> I.Eq
+  | 1 -> I.Ne
+  | 2 -> I.Lt
+  | 3 -> I.Le
+  | 4 -> I.Gt
+  | 5 -> I.Ge
+  | n -> invalid_arg (Printf.sprintf "Codec: bad cmp ordinal %d" n)
+
+(* ---- register and operand encoding ---- *)
+
+let imm_marker = 0xff
+
+let encode_reg = function
+  | Ir.Reg.R i when i >= 0 && i < 64 -> i
+  | Ir.Reg.F i when i >= 0 && i < 64 -> 0x40 lor i
+  | Ir.Reg.R _ | Ir.Reg.F _ ->
+    raise (Unencodable "register index out of range")
+  | Ir.Reg.T _ ->
+    raise (Unencodable "optimizer temporaries have no binary encoding")
+
+let decode_reg b =
+  let idx = b land 0x3f in
+  if b land 0x40 <> 0 then Ir.Reg.F idx else Ir.Reg.R idx
+
+(* ---- record encoding ---- *)
+
+let blank () = Bytes.make Image.record_bytes '\000'
+
+let set_op r v = Bytes.set_uint8 r 0 v
+let set_dst r v = Bytes.set_uint8 r 1 v
+let set_a r v = Bytes.set_uint8 r 2 v
+let set_b r v = Bytes.set_uint8 r 3 v
+let set_width r v = Bytes.set_uint8 r 5 v
+let set_imm_a r v =
+  if v < -32768 || v > 32767 then
+    raise (Unencodable "operand-a immediate outside 16 bits");
+  Bytes.set_int16_le r 6 v
+let set_imm_b r v = Bytes.set_int64_le r 8 (Int64.of_int v)
+
+let get_op r = Bytes.get_uint8 r 0
+let get_dst r = Bytes.get_uint8 r 1
+let get_a r = Bytes.get_uint8 r 2
+let get_b r = Bytes.get_uint8 r 3
+let get_width r = Bytes.get_uint8 r 5
+let get_imm_a r = Bytes.get_int16_le r 6
+let get_imm_b r = Int64.to_int (Bytes.get_int64_le r 8)
+
+let encode_operand_a rec_ = function
+  | I.Reg r -> set_a rec_ (encode_reg r)
+  | I.Imm n ->
+    set_a rec_ imm_marker;
+    set_imm_a rec_ n
+
+let encode_operand_b rec_ = function
+  | I.Reg r -> set_b rec_ (encode_reg r)
+  | I.Imm n ->
+    set_b rec_ imm_marker;
+    set_imm_b rec_ n
+
+let decode_operand_a rec_ =
+  let a = get_a rec_ in
+  if a = imm_marker then I.Imm (get_imm_a rec_) else I.Reg (decode_reg a)
+
+let decode_operand_b rec_ =
+  let b = get_b rec_ in
+  if b = imm_marker then I.Imm (get_imm_b rec_) else I.Reg (decode_reg b)
+
+let encode_instr (i : I.t) =
+  let r = blank () in
+  (match i.I.op with
+  | I.Nop -> set_op r op_nop
+  | I.Mov (d, src) ->
+    set_op r op_mov;
+    set_dst r (encode_reg d);
+    encode_operand_b r src
+  | I.Unop_neg (d, src) ->
+    set_op r op_neg;
+    set_dst r (encode_reg d);
+    encode_operand_b r src
+  | I.Binop (op, d, a, b) ->
+    set_op r (op_binop_base + binop_ord op);
+    set_dst r (encode_reg d);
+    encode_operand_a r a;
+    encode_operand_b r b
+  | I.Fbinop (op, d, a, b) ->
+    set_op r (op_fbinop_base + fbinop_ord op);
+    set_dst r (encode_reg d);
+    encode_operand_a r a;
+    encode_operand_b r b
+  | I.Cmp (op, d, a, b) ->
+    set_op r (op_cmp_base + cmp_ord op);
+    set_dst r (encode_reg d);
+    encode_operand_a r a;
+    encode_operand_b r b
+  | I.Load { dst; addr; width; annot } ->
+    if annot <> Ir.Annot.No_annot then
+      raise (Unencodable "annotated memory operation in guest code");
+    set_op r op_load;
+    set_dst r (encode_reg dst);
+    set_a r (encode_reg addr.I.base);
+    set_width r width;
+    set_imm_b r addr.I.disp
+  | I.Store { src; addr; width; annot } ->
+    if annot <> Ir.Annot.No_annot then
+      raise (Unencodable "annotated memory operation in guest code");
+    set_op r op_store;
+    set_dst r (encode_reg addr.I.base);
+    encode_operand_a r src;
+    set_width r width;
+    set_imm_b r addr.I.disp
+  | I.Branch _ | I.Jump _ ->
+    raise (Unencodable "raw branches are emitted from terminators")
+  | I.Exit _ | I.Rotate _ | I.Amov _ ->
+    raise (Unencodable "region-only instruction in guest code"));
+  r
+
+(* store instructions put the source in operand-a: immediates must fit
+   16 bits there, so wide store immediates go through the b slot...
+   they cannot: b holds the displacement.  Reject them instead. *)
+
+let encode_br ~target =
+  fun cond ->
+   let r = blank () in
+   set_op r op_br;
+   encode_operand_a r cond;
+   set_imm_b r target;
+   r
+
+let encode_jmp target =
+  let r = blank () in
+  set_op r op_jmp;
+  set_imm_b r target;
+  r
+
+let encode_halt () =
+  let r = blank () in
+  set_op r op_halt;
+  r
+
+(* ---- assembling a program ---- *)
+
+let assemble (p : Ir.Program.t) =
+  let labels = Ir.Program.labels p in
+  let ordered =
+    p.Ir.Program.entry
+    :: List.filter (fun l -> not (String.equal l p.Ir.Program.entry)) labels
+  in
+  (* first pass: index of each block's first instruction *)
+  let index_of = Hashtbl.create 64 in
+  let next = ref 0 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace index_of l !next;
+      let b = Ir.Program.block p l in
+      next := !next + List.length b.Ir.Block.body;
+      next :=
+        !next
+        +
+        match b.Ir.Block.terminator with
+        | Ir.Block.Fallthrough _ | Ir.Block.Halt -> 1
+        | Ir.Block.Cond _ -> 2)
+    ordered;
+  let image = Image.create ~entry_index:0 ~count:!next in
+  let pos = ref 0 in
+  let emit r =
+    Image.set_record image !pos r;
+    incr pos
+  in
+  List.iter
+    (fun l ->
+      let b = Ir.Program.block p l in
+      List.iter (fun i -> emit (encode_instr i)) b.Ir.Block.body;
+      match b.Ir.Block.terminator with
+      | Ir.Block.Halt -> emit (encode_halt ())
+      | Ir.Block.Fallthrough l' ->
+        emit (encode_jmp (Hashtbl.find index_of l'))
+      | Ir.Block.Cond { cond; taken; fallthrough; taken_probability = _ } ->
+        emit (encode_br ~target:(Hashtbl.find index_of taken) cond);
+        emit (encode_jmp (Hashtbl.find index_of fallthrough)))
+    ordered;
+  Image.to_bytes image
+
+(* ---- disassembling ---- *)
+
+type raw =
+  | Plain of I.op
+  | Br of I.operand * int
+  | Jmp of int
+  | Halt_r
+
+let decode_record r =
+  let op = get_op r in
+  if op = op_nop then Plain I.Nop
+  else if op = op_mov then Plain (I.Mov (decode_reg (get_dst r), decode_operand_b r))
+  else if op = op_neg then
+    Plain (I.Unop_neg (decode_reg (get_dst r), decode_operand_b r))
+  else if op >= op_binop_base && op < op_binop_base + 9 then
+    Plain
+      (I.Binop
+         ( binop_of_ord (op - op_binop_base),
+           decode_reg (get_dst r),
+           decode_operand_a r,
+           decode_operand_b r ))
+  else if op >= op_fbinop_base && op < op_fbinop_base + 4 then
+    Plain
+      (I.Fbinop
+         ( fbinop_of_ord (op - op_fbinop_base),
+           decode_reg (get_dst r),
+           decode_operand_a r,
+           decode_operand_b r ))
+  else if op >= op_cmp_base && op < op_cmp_base + 6 then
+    Plain
+      (I.Cmp
+         ( cmp_of_ord (op - op_cmp_base),
+           decode_reg (get_dst r),
+           decode_operand_a r,
+           decode_operand_b r ))
+  else if op = op_load then
+    Plain
+      (I.Load
+         {
+           dst = decode_reg (get_dst r);
+           addr = { I.base = decode_reg (get_a r); disp = get_imm_b r };
+           width = get_width r;
+           annot = Ir.Annot.none;
+         })
+  else if op = op_store then
+    Plain
+      (I.Store
+         {
+           src = decode_operand_a r;
+           addr = { I.base = decode_reg (get_dst r); disp = get_imm_b r };
+           width = get_width r;
+           annot = Ir.Annot.none;
+         })
+  else if op = op_br then Br (decode_operand_a r, get_imm_b r)
+  else if op = op_jmp then Jmp (get_imm_b r)
+  else if op = op_halt then Halt_r
+  else invalid_arg (Printf.sprintf "Codec: unknown opcode %d" op)
+
+let label_of idx = Printf.sprintf "L%d" idx
+
+let disassemble bytes_ =
+  let image = Image.of_bytes bytes_ in
+  let n = Image.count image in
+  let raws = Array.init n (fun i -> decode_record (Image.get_record image i)) in
+  (* leaders: entry, branch targets, successors of control records *)
+  let is_leader = Array.make (max n 1) false in
+  if n > 0 then is_leader.(Image.entry_index image) <- true;
+  Array.iteri
+    (fun i raw ->
+      match raw with
+      | Br (_, t) ->
+        if t < 0 || t >= n then invalid_arg "Codec: branch target out of range";
+        is_leader.(t) <- true;
+        if i + 1 < n then is_leader.(i + 1) <- true
+      | Jmp t ->
+        if t < 0 || t >= n then invalid_arg "Codec: jump target out of range";
+        is_leader.(t) <- true;
+        if i + 1 < n then is_leader.(i + 1) <- true
+      | Halt_r -> if i + 1 < n then is_leader.(i + 1) <- true
+      | Plain _ -> ())
+    raws;
+  (* build blocks *)
+  let next_id = ref 1 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let blocks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    let body = ref [] in
+    let terminator = ref None in
+    let continue = ref true in
+    while !continue && !i < n do
+      (match raws.(!i) with
+      | Plain op ->
+        body := I.make ~id:(fresh ()) op :: !body;
+        incr i;
+        (* a leader right after a plain record splits the block *)
+        if !i < n && is_leader.(!i) then begin
+          terminator := Some (Ir.Block.Fallthrough (label_of !i));
+          continue := false
+        end
+      | Br (cond, t) ->
+        (* BR falls through to the next record *)
+        if !i + 1 >= n then invalid_arg "Codec: branch at end of image";
+        terminator :=
+          Some
+            (Ir.Block.Cond
+               {
+                 cond;
+                 taken = label_of t;
+                 fallthrough = label_of (!i + 1);
+                 taken_probability = 0.5;
+               });
+        incr i;
+        continue := false
+      | Jmp t ->
+        terminator := Some (Ir.Block.Fallthrough (label_of t));
+        incr i;
+        continue := false
+      | Halt_r ->
+        terminator := Some Ir.Block.Halt;
+        incr i;
+        continue := false)
+    done;
+    let terminator =
+      match !terminator with
+      | Some t -> t
+      | None -> Ir.Block.Halt  (* ran off the image end *)
+    in
+    blocks :=
+      Ir.Block.make ~label:(label_of start) ~body:(List.rev !body) terminator
+      :: !blocks
+  done;
+  Ir.Program.make
+    ~entry:(label_of (Image.entry_index image))
+    (List.rev !blocks)

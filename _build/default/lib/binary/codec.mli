@@ -1,0 +1,40 @@
+(** Assembler and disassembler for guest binary images.
+
+    Each instruction occupies one 16-byte record:
+
+    {v
+    byte 0      opcode
+    byte 1      destination / primary register
+    byte 2      operand-a register (0xff = immediate, in bytes 6-7)
+    byte 3      operand-b register (0xff = immediate, in bytes 8-15)
+    byte 4      reserved
+    byte 5      access width (memory operations)
+    bytes 6-7   operand-a immediate (signed 16-bit)
+    bytes 8-15  operand-b immediate / displacement / branch target
+    v}
+
+    Registers encode as [kind lsl 6 lor index] (kind 0 = integer, 1 =
+    floating point); optimizer temporaries and region-only instructions
+    (annotations, [Rotate], [Amov], [Exit]) have no encoding — guest
+    binaries never contain them.
+
+    Control flow: block terminators are encoded as [BR cond, target]
+    (conditional, falls through to the next record) and [JMP target]
+    and [HALT]; targets are instruction indices.  Branch-probability
+    hints do {e not} survive assembly — a disassembled program carries
+    0.5 everywhere, and the runtime must rediscover bias by edge
+    profiling, exactly as a real binary translator does. *)
+
+exception Unencodable of string
+
+val assemble : Ir.Program.t -> bytes
+(** Lay out blocks (entry first, the rest in label order), resolve
+    labels to instruction indices, and emit the image.  Raises
+    {!Unencodable} for region-only instructions, optimizer temporaries,
+    or operand-a immediates outside 16 bits. *)
+
+val disassemble : bytes -> Ir.Program.t
+(** Rebuild a CFG from an image: leaders are the entry, every branch
+    target, and every successor of a control record; blocks are named
+    ["L<index>"].  Raises [Invalid_argument] on malformed images or
+    unknown opcodes. *)

@@ -1,0 +1,103 @@
+(** SMARQ — the public facade.
+
+    Re-exports the subsystem libraries under one roof and provides the
+    high-level entry points most users want: run a benchmark under an
+    alias-detection scheme, compare schemes, and compute speedups. *)
+
+module Ir = Ir
+module Hw = Hw
+module Vliw = Vliw
+module Frontend = Frontend
+module Analysis = Analysis
+module Sched = Sched
+module Opt = Opt
+module Runtime = Runtime
+module Workload = Workload
+
+(** Named alias-detection schemes for the command line and harness. *)
+module Scheme = struct
+  type t =
+    | Smarq of int  (** ordered queue with n alias registers *)
+    | Smarq_no_store_reorder of int
+    | Naive_order of int
+        (** program-order allocation on the queue (Section 2.4) *)
+    | Alat
+    | Efficeon
+    | None_
+    | None_static  (** no hardware, constant-base static analysis only *)
+
+  let to_driver = function
+    | Smarq n -> Runtime.Driver.scheme_smarq ~ar_count:n ()
+    | Smarq_no_store_reorder n ->
+      Runtime.Driver.scheme_smarq_no_store_reorder ~ar_count:n ()
+    | Naive_order n -> Runtime.Driver.scheme_naive_order ~ar_count:n ()
+    | Alat -> Runtime.Driver.scheme_alat ()
+    | Efficeon -> Runtime.Driver.scheme_efficeon ()
+    | None_ -> Runtime.Driver.scheme_none ()
+    | None_static -> Runtime.Driver.scheme_none_with_analysis ()
+
+  let name = function
+    | Smarq n -> Printf.sprintf "smarq%d" n
+    | Smarq_no_store_reorder n -> Printf.sprintf "smarq%d-nosr" n
+    | Naive_order n -> Printf.sprintf "naive%d" n
+    | Alat -> "alat"
+    | Efficeon -> "efficeon"
+    | None_ -> "none"
+    | None_static -> "none+static"
+
+  let of_string s =
+    match String.lowercase_ascii s with
+    | "alat" | "itanium" -> Alat
+    | "efficeon" -> Efficeon
+    | "none" | "baseline" -> None_
+    | "none+static" | "static" -> None_static
+    | s when String.length s > 5 && String.sub s 0 5 = "smarq" ->
+      (match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+      | Some n -> Smarq n
+      | None -> invalid_arg (Printf.sprintf "unknown scheme %S" s))
+    | "smarq" -> Smarq 64
+    | s when String.length s > 5 && String.sub s 0 5 = "naive" ->
+      (match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+      | Some n -> Naive_order n
+      | None -> invalid_arg (Printf.sprintf "unknown scheme %S" s))
+    | "naive" -> Naive_order 64
+    | _ -> invalid_arg (Printf.sprintf "unknown scheme %S" s)
+
+  let all = [ Smarq 64; Smarq 16; Alat; Efficeon; None_ ]
+end
+
+let run_program ?config ?fuel ?unroll ~scheme program =
+  let cfg =
+    match config, scheme with
+    | Some c, _ -> c
+    | None, Scheme.Smarq n
+    | None, Scheme.Smarq_no_store_reorder n
+    | None, Scheme.Naive_order n ->
+      Vliw.Config.with_alias_registers Vliw.Config.default n
+    | None, (Scheme.Alat | Scheme.Efficeon | Scheme.None_ | Scheme.None_static)
+      ->
+      Vliw.Config.default
+  in
+  Runtime.Driver.run ~config:cfg ?fuel ?unroll
+    ~scheme:(Scheme.to_driver scheme) program
+
+let run_benchmark ?config ?fuel ?scale ~scheme name =
+  let bench = Workload.Specfp.find name in
+  run_program ?config ?fuel ~scheme (Workload.Specfp.program ?scale bench)
+
+(** [speedup ~baseline ~improved] is baseline-cycles / improved-cycles
+    (> 1 means [improved] is faster). *)
+let speedup ~(baseline : Runtime.Stats.t) ~(improved : Runtime.Stats.t) =
+  if improved.Runtime.Stats.total_cycles = 0 then 0.0
+  else
+    float_of_int baseline.Runtime.Stats.total_cycles
+    /. float_of_int improved.Runtime.Stats.total_cycles
+
+(** Run one benchmark under several schemes and return
+    (scheme name, stats) in order. *)
+let compare_schemes ?config ?fuel ?scale ~schemes name =
+  List.map
+    (fun s ->
+      let r = run_benchmark ?config ?fuel ?scale ~scheme:s name in
+      (Scheme.name s, r.Runtime.Driver.stats))
+    schemes

@@ -1,0 +1,1 @@
+lib/frontend/interp.ml: Hashtbl Hw Ir List Option Vliw

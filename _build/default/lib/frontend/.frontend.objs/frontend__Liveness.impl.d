@@ -1,0 +1,1 @@
+lib/frontend/liveness.ml: Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/frontend/liveness.mli: Ir

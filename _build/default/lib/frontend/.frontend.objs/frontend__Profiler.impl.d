@@ -1,0 +1,1 @@
+lib/frontend/profiler.ml: Hashtbl Ir Option

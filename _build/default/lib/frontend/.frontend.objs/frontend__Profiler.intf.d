@@ -1,0 +1,1 @@
+lib/frontend/profiler.mli: Ir

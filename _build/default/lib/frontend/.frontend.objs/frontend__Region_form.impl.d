@@ -1,0 +1,1 @@
+lib/frontend/region_form.ml: Hashtbl Ir List Liveness Profiler

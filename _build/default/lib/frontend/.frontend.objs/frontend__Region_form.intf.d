@@ -1,0 +1,1 @@
+lib/frontend/region_form.mli: Ir Liveness Profiler

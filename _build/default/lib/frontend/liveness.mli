@@ -1,0 +1,18 @@
+(** Guest-register liveness over the guest control-flow graph.
+
+    Backward dataflow with the boundary condition that {e every} guest
+    register is live at [Halt].  That makes "dead at exit E" mean "on
+    every path from E, redefined before any use and before program
+    end", which is exactly the condition under which the scheduler may
+    move a definition across E while keeping the final architectural
+    state (compared in full by the equivalence tests) intact. *)
+
+type t
+
+val analyze : Ir.Program.t -> t
+
+val live_in : t -> Ir.Instr.label -> Ir.Reg.Set.t
+(** Registers live on entry to the labeled block.  Unknown labels are
+    conservatively fully live. *)
+
+val live_out_of_block : t -> Ir.Block.t -> Ir.Reg.Set.t

@@ -1,0 +1,30 @@
+(** Superblock region formation along hot paths.
+
+    Starting from a hot seed block, the former follows the biased
+    direction of each conditional terminator, turning the unlikely
+    direction into a side exit, and merging blocks until it reaches a
+    relatively cold block, a block already in the region (loop back
+    edge), a halt, or the size limit.
+
+    When the biased direction of a conditional is the {e taken} arm,
+    the guard must be inverted so the region's side exit fires on the
+    unlikely path; a fresh [Cmp Eq tmp cond 0] into an optimizer
+    temporary expresses the inversion without touching guest state. *)
+
+type params = {
+  max_blocks : int;  (** blocks merged per superblock (default 8) *)
+  min_bias : float;  (** follow a conditional only above this (default 0.6) *)
+}
+
+val default_params : params
+
+val form :
+  ?params:params ->
+  program:Ir.Program.t ->
+  liveness:Liveness.t ->
+  profiler:Profiler.t ->
+  fresh_id:int ref ->
+  Ir.Instr.label ->
+  Ir.Superblock.t
+(** [fresh_id] supplies ids for inserted guard-inversion instructions;
+    it is advanced past every id used. *)

@@ -1,0 +1,1 @@
+lib/hw/access.ml: Format

@@ -1,0 +1,1 @@
+lib/hw/alat.ml: Access Detector Ir List

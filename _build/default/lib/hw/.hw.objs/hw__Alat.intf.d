@@ -1,0 +1,1 @@
+lib/hw/alat.mli: Access Detector Ir

@@ -1,0 +1,1 @@
+lib/hw/detector.ml: Access Format Ir

@@ -1,0 +1,1 @@
+lib/hw/detector.mli: Access Format Ir

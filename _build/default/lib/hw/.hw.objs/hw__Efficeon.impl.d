@@ -1,0 +1,1 @@
+lib/hw/efficeon.ml: Access Array Detector Ir Printf

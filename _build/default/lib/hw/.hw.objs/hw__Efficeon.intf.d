@@ -1,0 +1,1 @@
+lib/hw/efficeon.mli: Access Detector Ir

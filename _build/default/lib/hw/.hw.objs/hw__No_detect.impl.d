@@ -1,0 +1,1 @@
+lib/hw/no_detect.ml: Detector

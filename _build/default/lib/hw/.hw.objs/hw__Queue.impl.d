@@ -1,0 +1,1 @@
+lib/hw/queue.ml: Access Detector Hashtbl Int Ir List Printf

@@ -1,0 +1,1 @@
+lib/hw/queue.mli: Access Detector Ir

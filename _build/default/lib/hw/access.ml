@@ -1,0 +1,12 @@
+type t = {
+  lo : int;
+  hi : int;
+}
+
+let make ~addr ~width =
+  if width <= 0 then invalid_arg "Access.make: width must be positive";
+  { lo = addr; hi = addr + width - 1 }
+
+let overlap a b = a.lo <= b.hi && b.lo <= a.hi
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let pp ppf { lo; hi } = Format.fprintf ppf "[%d,%d]" lo hi

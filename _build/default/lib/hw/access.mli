@@ -1,0 +1,19 @@
+(** Memory access ranges.
+
+    An access range is the closed byte interval [[lo, hi]] touched by a
+    memory operation; the paper's example uses 4-byte accesses covering
+    [[r0, r0+3]].  Hardware alias detection compares ranges for
+    overlap. *)
+
+type t = {
+  lo : int;
+  hi : int;
+}
+
+val make : addr:int -> width:int -> t
+(** [make ~addr ~width] is the range [[addr, addr + width - 1]].
+    Raises [Invalid_argument] if [width <= 0]. *)
+
+val overlap : t -> t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

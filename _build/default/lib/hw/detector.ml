@@ -1,0 +1,30 @@
+type violation = {
+  checker : int;
+  setter : int;
+  false_positive_prone : bool;
+}
+
+type caps = {
+  scheme : string;
+  scalable : bool;
+  false_positives : bool;
+  detects_store_store : bool;
+  max_registers : int option;
+}
+
+type t = {
+  name : string;
+  caps : caps;
+  reset : unit -> unit;
+  on_mem : Ir.Instr.t -> Access.t -> (unit, violation) result;
+  on_rotate : int -> unit;
+  on_amov : src:int -> dst:int -> unit;
+  checks_performed : unit -> int;
+}
+
+let exceeds_window _ _ = false
+
+let pp_violation ppf v =
+  Format.fprintf ppf "alias violation: instr %d checked instr %d%s" v.checker
+    v.setter
+    (if v.false_positive_prone then " (possibly spurious)" else "")

@@ -1,0 +1,78 @@
+type entry = {
+  range : Access.t;
+  setter : int;
+}
+
+type t = {
+  regs : entry option array;
+  mutable checks : int;
+}
+
+let encoding_limit = 15
+
+let create ?(size = encoding_limit) () =
+  if size <= 0 || size > encoding_limit then
+    invalid_arg
+      (Printf.sprintf "Efficeon.create: size must be in 1..%d" encoding_limit);
+  { regs = Array.make size None; checks = 0 }
+
+let size t = Array.length t.regs
+let reset t = Array.fill t.regs 0 (Array.length t.regs) None
+let checks_performed t = t.checks
+
+let on_mem t (instr : Ir.Instr.t) range =
+  match Ir.Instr.annot instr with
+  | Ir.Annot.Mask { set_index; check_mask } ->
+    let n = Array.length t.regs in
+    let rec scan i =
+      if i >= n then Ok ()
+      else if check_mask land (1 lsl i) = 0 then scan (i + 1)
+      else begin
+        t.checks <- t.checks + 1;
+        match t.regs.(i) with
+        | Some e when Access.overlap e.range range ->
+          Error
+            Detector.
+              {
+                checker = instr.id;
+                setter = e.setter;
+                false_positive_prone = false;
+              }
+        | Some _ | None -> scan (i + 1)
+      end
+    in
+    let result = scan 0 in
+    (match result with
+    | Error _ as e -> e
+    | Ok () ->
+      (match set_index with
+      | Some i when i >= 0 && i < n ->
+        t.regs.(i) <- Some { range; setter = instr.id }
+      | Some i ->
+        invalid_arg
+          (Printf.sprintf "Efficeon.on_mem: register %d out of range" i)
+      | None -> ());
+      Ok ())
+  | Ir.Annot.No_annot | Ir.Annot.Queue _ | Ir.Annot.Alat _ -> Ok ()
+
+let caps size =
+  Detector.
+    {
+      scheme = "bit-mask";
+      scalable = false;
+      false_positives = false;
+      detects_store_store = true;
+      max_registers = Some size;
+    }
+
+let detector t =
+  Detector.
+    {
+      name = Printf.sprintf "efficeon%d" (size t);
+      caps = caps (size t);
+      reset = (fun () -> reset t);
+      on_mem = (fun i r -> on_mem t i r);
+      on_rotate = (fun _ -> ());
+      on_amov = (fun ~src:_ ~dst:_ -> ());
+      checks_performed = (fun () -> checks_performed t);
+    }

@@ -1,0 +1,6 @@
+(** The null detector: no hardware alias detection at all.
+
+    With this unit installed the optimizer cannot speculate across
+    may-alias memory operations; it is the baseline of Figure 15. *)
+
+val detector : unit -> Detector.t

@@ -1,0 +1,1 @@
+lib/ir/annot.mli: Format

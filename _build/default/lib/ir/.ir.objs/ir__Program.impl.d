@@ -1,0 +1,1 @@
+lib/ir/program.ml: Block Format Hashtbl Instr List Printf String

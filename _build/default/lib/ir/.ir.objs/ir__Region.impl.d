@@ -1,0 +1,1 @@
+lib/ir/region.ml: Array Format Instr List Superblock

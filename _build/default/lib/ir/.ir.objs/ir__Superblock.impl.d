@@ -1,0 +1,1 @@
+lib/ir/superblock.ml: Format Hashtbl Instr List Option Reg String

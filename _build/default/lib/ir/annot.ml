@@ -1,0 +1,43 @@
+type queue = {
+  offset : int;
+  p : bool;
+  c : bool;
+}
+
+type mask = {
+  set_index : int option;
+  check_mask : int;
+}
+
+type alat = { advanced : bool }
+
+type t =
+  | No_annot
+  | Queue of queue
+  | Mask of mask
+  | Alat of alat
+
+let none = No_annot
+let queue ~offset ~p ~c = Queue { offset; p; c }
+let mask ~set_index ~check_mask = Mask { set_index; check_mask }
+let alat ~advanced = Alat { advanced }
+
+let equal a b =
+  match a, b with
+  | No_annot, No_annot -> true
+  | Queue x, Queue y -> x.offset = y.offset && x.p = y.p && x.c = y.c
+  | Mask x, Mask y -> x.set_index = y.set_index && x.check_mask = y.check_mask
+  | Alat x, Alat y -> x.advanced = y.advanced
+  | (No_annot | Queue _ | Mask _ | Alat _), _ -> false
+
+let pp ppf = function
+  | No_annot -> ()
+  | Queue { offset; p; c } ->
+    Format.fprintf ppf "@@%d%s%s" offset (if p then "P" else "")
+      (if c then "C" else "")
+  | Mask { set_index; check_mask } ->
+    (match set_index with
+    | Some i -> Format.fprintf ppf "set:%d" i
+    | None -> ());
+    if check_mask <> 0 then Format.fprintf ppf " chk:%#x" check_mask
+  | Alat { advanced } -> if advanced then Format.pp_print_string ppf "ld.a"

@@ -1,0 +1,44 @@
+(** Alias-detection annotations carried by memory operations.
+
+    The dynamic optimizer decorates each speculated memory operation
+    with scheme-specific metadata that the hardware alias-detection unit
+    consumes at execution time:
+
+    - {b Queue} (order-based, SMARQ): an alias-register {e offset}
+      relative to the rotating [BASE] pointer, plus the P (protect /
+      set) and C (check) bits of Section 3.1 of the paper.
+    - {b Mask} (Efficeon-like): an optional register to set and a
+      bit-mask of registers to check.
+    - {b Alat} (Itanium-like): whether the operation is an advanced
+      load (sets an ALAT entry) and/or must be checked against the
+      table.  Stores always check every entry; that behaviour lives in
+      the hardware model, not in the annotation. *)
+
+type queue = {
+  offset : int;  (** alias-register offset relative to current [BASE] *)
+  p : bool;  (** protect bit: the operation sets its alias register *)
+  c : bool;  (** check bit: the operation checks earlier registers *)
+}
+
+type mask = {
+  set_index : int option;  (** alias register set by this operation *)
+  check_mask : int;  (** bit-mask of alias registers to check *)
+}
+
+type alat = {
+  advanced : bool;  (** sets an ALAT entry (like [ld.a]) *)
+}
+
+type t =
+  | No_annot
+  | Queue of queue
+  | Mask of mask
+  | Alat of alat
+
+val none : t
+val queue : offset:int -> p:bool -> c:bool -> t
+val mask : set_index:int option -> check_mask:int -> t
+val alat : advanced:bool -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+type terminator =
+  | Fallthrough of Instr.label
+  | Cond of {
+      cond : Instr.operand;
+      taken : Instr.label;
+      fallthrough : Instr.label;
+      taken_probability : float;
+    }
+  | Halt
+
+type t = {
+  label : Instr.label;
+  body : Instr.t list;
+  terminator : terminator;
+}
+
+let make ~label ~body terminator =
+  assert (not (List.exists Instr.is_branch body));
+  { label; body; terminator }
+
+let successors b =
+  match b.terminator with
+  | Fallthrough l -> [ l ]
+  | Cond { taken; fallthrough; _ } -> [ taken; fallthrough ]
+  | Halt -> []
+
+let instr_count b = List.length b.body
+
+let pp_terminator ppf = function
+  | Fallthrough l -> Format.fprintf ppf "  jmp %s" l
+  | Cond { cond; taken; fallthrough; taken_probability } ->
+    Format.fprintf ppf "  br %a -> %s (p=%.2f) else %s" Instr.pp_operand cond
+      taken taken_probability fallthrough
+  | Halt -> Format.fprintf ppf "  halt"
+
+let pp ppf b =
+  Format.fprintf ppf "%s:@." b.label;
+  List.iter (fun i -> Format.fprintf ppf "  %a@." Instr.pp i) b.body;
+  Format.fprintf ppf "%a@." pp_terminator b.terminator

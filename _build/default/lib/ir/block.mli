@@ -1,0 +1,32 @@
+(** Basic blocks of a guest program.
+
+    A block is straight-line code ended by an explicit terminator: a
+    fall-through [Jump], a conditional [Branch] followed by a [Jump]
+    (two-way), or a [Halt] (end of program, encoded as [terminator =
+    Halt]).  Guest programs never contain alias annotations, [Rotate],
+    [Amov] or [Exit] instructions; those appear only in translated
+    regions. *)
+
+type terminator =
+  | Fallthrough of Instr.label  (** unconditional jump *)
+  | Cond of {
+      cond : Instr.operand;
+      taken : Instr.label;
+      fallthrough : Instr.label;
+      taken_probability : float;  (** profile-observed bias, in [0,1] *)
+    }
+  | Halt
+
+type t = {
+  label : Instr.label;
+  body : Instr.t list;  (** straight-line, no branches *)
+  terminator : terminator;
+}
+
+val make : label:Instr.label -> body:Instr.t list -> terminator -> t
+
+val successors : t -> Instr.label list
+(** In control-flow order: taken target first for conditionals. *)
+
+val instr_count : t -> int
+val pp : Format.formatter -> t -> unit

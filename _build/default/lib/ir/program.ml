@@ -1,0 +1,81 @@
+type t = {
+  entry : Instr.label;
+  blocks : (Instr.label, Block.t) Hashtbl.t;
+}
+
+let validate_block_list ~entry bs =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Block.t) ->
+      if Hashtbl.mem seen b.label then
+        invalid_arg (Printf.sprintf "Program.make: duplicate label %s" b.label);
+      Hashtbl.add seen b.label ())
+    bs;
+  if not (Hashtbl.mem seen entry) then
+    invalid_arg (Printf.sprintf "Program.make: missing entry block %s" entry);
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem seen l) then
+            invalid_arg
+              (Printf.sprintf "Program.make: %s branches to unknown label %s"
+                 b.label l))
+        (Block.successors b))
+    bs
+
+let make ~entry bs =
+  validate_block_list ~entry bs;
+  let blocks = Hashtbl.create (List.length bs * 2) in
+  List.iter (fun (b : Block.t) -> Hashtbl.replace blocks b.label b) bs;
+  { entry; blocks }
+
+let block t label = Hashtbl.find t.blocks label
+
+let labels t =
+  Hashtbl.fold (fun l _ acc -> l :: acc) t.blocks []
+  |> List.sort String.compare
+
+let blocks t = List.map (block t) (labels t)
+
+let instr_count t =
+  List.fold_left (fun acc b -> acc + Block.instr_count b) 0 (blocks t)
+
+let max_instr_id t =
+  List.fold_left
+    (fun acc (b : Block.t) ->
+      List.fold_left (fun acc (i : Instr.t) -> max acc i.id) acc b.body)
+    0 (blocks t)
+
+let validate t =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if not (Hashtbl.mem t.blocks t.entry) then
+    note "entry block %s not present" t.entry;
+  Hashtbl.iter
+    (fun label (b : Block.t) ->
+      if not (String.equal label b.label) then
+        note "block %s registered under label %s" b.label label;
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem t.blocks l) then
+            note "block %s has unknown successor %s" b.label l)
+        (Block.successors b);
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.is_branch i then
+            note "block %s body contains branch (id %d)" b.label i.id;
+          match i.op with
+          | Instr.Rotate _ | Instr.Amov _ | Instr.Exit _ ->
+            note "block %s contains region-only instruction (id %d)" b.label
+              i.id
+          | _ -> ())
+        b.body)
+    t.blocks;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))
+
+let pp ppf t =
+  Format.fprintf ppf "entry: %s@." t.entry;
+  List.iter (fun b -> Block.pp ppf b) (blocks t)

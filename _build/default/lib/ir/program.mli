@@ -1,0 +1,29 @@
+(** Whole guest programs: a control-flow graph of basic blocks. *)
+
+type t = {
+  entry : Instr.label;
+  blocks : (Instr.label, Block.t) Hashtbl.t;
+}
+
+val make : entry:Instr.label -> Block.t list -> t
+(** Raises [Invalid_argument] on duplicate labels, a missing entry
+    block, or a branch to an unknown label. *)
+
+val block : t -> Instr.label -> Block.t
+(** Raises [Not_found] for an unknown label. *)
+
+val labels : t -> Instr.label list
+(** All labels, in an unspecified but deterministic order. *)
+
+val blocks : t -> Block.t list
+val instr_count : t -> int
+
+val max_instr_id : t -> int
+(** Largest instruction [id] appearing in the program; fresh ids for
+    optimizer-inserted instructions start above this. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: every successor label resolves, entry exists,
+    bodies contain no branch/region-only instructions. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type t =
+  | R of int
+  | F of int
+  | T of int
+
+let int_count = 32
+let float_count = 32
+
+let equal a b =
+  match a, b with
+  | R i, R j | F i, F j | T i, T j -> i = j
+  | (R _ | F _ | T _), _ -> false
+
+let rank = function
+  | R _ -> 0
+  | F _ -> 1
+  | T _ -> 2
+
+let index = function
+  | R i | F i | T i -> i
+
+let compare a b =
+  let c = Int.compare (rank a) (rank b) in
+  if c <> 0 then c else Int.compare (index a) (index b)
+
+let hash r = (rank r * 1021) + index r
+
+let is_temp = function
+  | T _ -> true
+  | R _ | F _ -> false
+
+let all_guest =
+  List.init int_count (fun i -> R i) @ List.init float_count (fun i -> F i)
+
+let to_string = function
+  | R i -> Printf.sprintf "r%d" i
+  | F i -> Printf.sprintf "f%d" i
+  | T i -> Printf.sprintf "t%d" i
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

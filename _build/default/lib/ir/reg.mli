@@ -1,0 +1,34 @@
+(** Architectural registers of the guest/optimizer IR.
+
+    The guest ISA exposes integer registers [R 0 .. R (int_count - 1)]
+    and floating-point registers [F 0 .. F (float_count - 1)].  The
+    optimizer additionally uses temporary registers [T n] that never
+    appear in guest code; they are used for store-to-load forwarding and
+    other value-motion transformations and are dead at region exits. *)
+
+type t =
+  | R of int  (** guest integer register *)
+  | F of int  (** guest floating-point register *)
+  | T of int  (** optimizer temporary, dead at region exits *)
+
+val int_count : int
+(** Number of guest integer registers (32). *)
+
+val float_count : int
+(** Number of guest floating-point registers (32). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val is_temp : t -> bool
+(** [is_temp r] is true iff [r] is an optimizer temporary. *)
+
+val all_guest : t list
+(** Every guest-visible register, integer then floating-point. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/opt/elim.ml: Analysis Array Hashtbl Ir List Sched

@@ -1,0 +1,1 @@
+lib/opt/elim.mli: Analysis Ir Sched

@@ -1,0 +1,1 @@
+lib/opt/optimizer.ml: Analysis Elim Ir Sched

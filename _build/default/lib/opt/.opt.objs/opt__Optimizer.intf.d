@@ -1,0 +1,1 @@
+lib/opt/optimizer.mli: Ir Sched

@@ -1,0 +1,1 @@
+lib/opt/unroll.ml: Hashtbl Ir List String

@@ -1,0 +1,99 @@
+type opt_stats = {
+  sched_stats : Sched.List_sched.stats;
+  loads_eliminated : int;
+  stores_eliminated : int;
+  fell_back : bool;
+  work_units : int;
+}
+
+type t = {
+  region : Ir.Region.t;
+  alloc_result : Sched.Smarq_alloc.result option;
+  stats : opt_stats;
+}
+
+let build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
+    (sb : Ir.Superblock.t) =
+  let facts_for body =
+    if policy.Sched.Policy.static_disambiguation then
+      Some (Analysis.Const_prop.analyze ~body)
+    else None
+  in
+  let alias =
+    Analysis.May_alias.analyze ~known_alias
+      ?const_facts:(facts_for sb.Ir.Superblock.body)
+      ~body:sb.Ir.Superblock.body ()
+  in
+  let elim =
+    Elim.run ~policy ~alias ~body:sb.Ir.Superblock.body ~fresh_id
+  in
+  let sb' = { sb with Ir.Superblock.body = elim.Elim.body } in
+  (* positions changed: rebuild the analysis over the final body *)
+  let alias' =
+    Analysis.May_alias.analyze ~known_alias
+      ?const_facts:(facts_for elim.Elim.body)
+      ~body:elim.Elim.body ()
+  in
+  let deps =
+    Analysis.Depgraph.build ~body:elim.Elim.body ~alias:alias'
+      ~eliminated:elim.Elim.eliminations ()
+  in
+  let outcome =
+    Sched.List_sched.schedule ~sb:sb' ~deps ~policy ~issue_width ~mem_ports
+      ~latency ~fresh_id ~extra_assumed:elim.Elim.assumed_no_alias ()
+  in
+  (outcome, elim)
+
+let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
+    ?(known_alias = []) sb =
+  let work_units = 2 * Ir.Superblock.instr_count sb in
+  let finish ~fell_back
+      ((outcome : Sched.List_sched.outcome), (elim : Elim.result)) =
+    {
+      region = outcome.Sched.List_sched.region;
+      alloc_result = outcome.Sched.List_sched.alloc_result;
+      stats =
+        {
+          sched_stats = outcome.Sched.List_sched.stats;
+          loads_eliminated = elim.Elim.loads_eliminated;
+          stores_eliminated = elim.Elim.stores_eliminated;
+          fell_back;
+          work_units;
+        };
+    }
+  in
+  let attempt policy =
+    build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
+      sb
+  in
+  let has_elims =
+    policy.Sched.Policy.allow_load_load_forward
+    || policy.Sched.Policy.allow_store_load_forward
+    || policy.Sched.Policy.allow_store_elim
+  in
+  try finish ~fell_back:false (attempt policy) with
+  | Sched.Smarq_alloc.Overflow _
+  | Sched.Mask_alloc.Mask_overflow _
+  | Sched.Naive_alloc.Naive_overflow _
+  | Sched.List_sched.Unschedulable _ ->
+    (* Middle tier: eliminations are the register hogs (their extended
+       dependences keep registers live across long spans); retry with
+       reordering only, where non-speculation mode can always fit.
+       Only if even that overflows, build without speculation. *)
+    let reorder_only =
+      {
+        policy with
+        Sched.Policy.allow_load_load_forward = false;
+        allow_store_load_forward = false;
+        allow_store_elim = false;
+      }
+    in
+    (try
+       if has_elims then finish ~fell_back:true (attempt reorder_only)
+       else finish ~fell_back:true (attempt (Sched.Policy.none ()))
+     with
+    | Sched.Smarq_alloc.Overflow _
+    | Sched.Mask_alloc.Mask_overflow _
+    | Sched.Naive_alloc.Naive_overflow _
+    | Sched.List_sched.Unschedulable _ ->
+      finish ~fell_back:true (attempt (Sched.Policy.none ())))

@@ -1,0 +1,38 @@
+(** The dynamic optimizer: superblock in, translated region out.
+
+    Pipeline: may-alias analysis → speculative eliminations → dependence
+    graph (with extended dependences) → list scheduling with integrated
+    alias-register allocation → region materialization.
+
+    [known_alias] carries pairs learned from alias exceptions; they are
+    treated as must-alias, which disables both the reordering and the
+    eliminations that speculated on them — the paper's conservative
+    re-optimization.
+
+    When the allocator overflows the physical alias registers (or the
+    mask encoding), the optimizer falls back to a fully
+    non-speculative build of the same superblock and reports it. *)
+
+type opt_stats = {
+  sched_stats : Sched.List_sched.stats;
+  loads_eliminated : int;
+  stores_eliminated : int;
+  fell_back : bool;  (** overflow forced a non-speculative rebuild *)
+  work_units : int;  (** IR instructions processed, for overhead accounting *)
+}
+
+type t = {
+  region : Ir.Region.t;
+  alloc_result : Sched.Smarq_alloc.result option;
+  stats : opt_stats;
+}
+
+val optimize :
+  policy:Sched.Policy.t ->
+  issue_width:int ->
+  mem_ports:int ->
+  latency:(Ir.Instr.t -> int) ->
+  fresh_id:int ref ->
+  ?known_alias:(int * int) list ->
+  Ir.Superblock.t ->
+  t

@@ -1,0 +1,39 @@
+let copy_instr ~fresh_id (i : Ir.Instr.t) =
+  let id = !fresh_id in
+  incr fresh_id;
+  Ir.Instr.make ~id i.Ir.Instr.op
+
+let unroll ~factor ~fresh_id (sb : Ir.Superblock.t) =
+  if factor <= 1 then None
+  else
+    match sb.Ir.Superblock.final_exit with
+    | Some l when String.equal l sb.Ir.Superblock.entry ->
+      let copies = ref [ sb.Ir.Superblock.body ] in
+      let live_out = ref [] in
+      Hashtbl.iter
+        (fun id set -> live_out := (id, set) :: !live_out)
+        sb.Ir.Superblock.live_out;
+      for _ = 2 to factor do
+        let copy =
+          List.map
+            (fun (i : Ir.Instr.t) ->
+              let i' = copy_instr ~fresh_id i in
+              (* side exits of the copy leave to the same labels with
+                 the same live sets *)
+              (match Hashtbl.find_opt sb.Ir.Superblock.live_out i.Ir.Instr.id
+               with
+              | Some set -> live_out := (i'.Ir.Instr.id, set) :: !live_out
+              | None -> ());
+              i')
+            sb.Ir.Superblock.body
+        in
+        copies := copy :: !copies
+      done;
+      Some
+        (Ir.Superblock.make ~entry:sb.Ir.Superblock.entry
+           ~body:(List.concat (List.rev !copies))
+           ~final_exit:sb.Ir.Superblock.final_exit
+           ~source_blocks:sb.Ir.Superblock.source_blocks
+           ~live_out:!live_out
+           ~final_live_out:sb.Ir.Superblock.final_live_out ())
+    | Some _ | None -> None

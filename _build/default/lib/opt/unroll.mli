@@ -1,0 +1,17 @@
+(** Superblock loop unrolling — the "larger regions" direction the
+    paper's conclusion points at ("we believe SMARQ is even more
+    promising for larger region and loop level optimizations",
+    Section 6.1).
+
+    A superblock whose fall-through returns to its own entry is a
+    self-loop region; unrolling concatenates [factor] copies of its
+    body (fresh instruction ids per copy, side exits preserved), giving
+    the scheduler a region with [factor] times the memory operations —
+    more reordering freedom, and proportionally more alias-register
+    pressure, which is exactly what separates a 64-register queue from
+    a 16-register one. *)
+
+val unroll :
+  factor:int -> fresh_id:int ref -> Ir.Superblock.t -> Ir.Superblock.t option
+(** [None] when the superblock is not a self-loop or [factor <= 1].
+    The result's [final_exit] still returns to the entry. *)

@@ -1,0 +1,1 @@
+lib/runtime/driver.ml: Frontend Hashtbl Hw Ir List Opt Option Sched Stats Vliw

@@ -1,0 +1,1 @@
+lib/runtime/driver.mli: Hw Ir Sched Stats Vliw

@@ -1,0 +1,216 @@
+type scheme = {
+  policy : Sched.Policy.t;
+  detector : Hw.Detector.t;
+}
+
+let scheme_smarq ?(ar_count = 64) () =
+  {
+    policy = Sched.Policy.smarq ~ar_count;
+    detector = Hw.Queue.detector (Hw.Queue.create ~size:ar_count);
+  }
+
+let scheme_smarq_no_store_reorder ?(ar_count = 64) () =
+  {
+    policy = Sched.Policy.smarq_no_store_reorder ~ar_count;
+    detector = Hw.Queue.detector (Hw.Queue.create ~size:ar_count);
+  }
+
+let scheme_naive_order ?(ar_count = 64) () =
+  {
+    policy = Sched.Policy.naive_order ~ar_count;
+    detector = Hw.Queue.detector (Hw.Queue.create ~size:ar_count);
+  }
+
+let scheme_alat () =
+  {
+    policy = Sched.Policy.alat ();
+    detector = Hw.Alat.detector (Hw.Alat.create ());
+  }
+
+let scheme_efficeon () =
+  {
+    policy = Sched.Policy.efficeon ();
+    detector = Hw.Efficeon.detector (Hw.Efficeon.create ());
+  }
+
+let scheme_none () =
+  { policy = Sched.Policy.none (); detector = Hw.No_detect.detector () }
+
+let scheme_none_with_analysis () =
+  {
+    policy = Sched.Policy.none_with_analysis ();
+    detector = Hw.No_detect.detector ();
+  }
+
+type cache_entry = {
+  mutable region : Ir.Region.t;
+  mutable known_alias : (int * int) list;
+  mutable pinned : int list;
+  mutable reopts : int;
+  mutable gave_up : bool;
+  sb : Ir.Superblock.t;
+}
+
+type result = {
+  stats : Stats.t;
+  machine : Vliw.Machine.t;
+}
+
+let pair_mem pair pairs =
+  let a, b = pair in
+  List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) pairs
+
+(* Expand pinned instructions into known-alias pairs against every
+   memory operation of the superblock: the blunt but terminating way to
+   take an operation out of speculation entirely. *)
+let known_with_pins entry =
+  match entry.pinned with
+  | [] -> entry.known_alias
+  | pins ->
+    let mems = Ir.Superblock.memory_ops entry.sb in
+    List.fold_left
+      (fun acc pin ->
+        List.fold_left
+          (fun acc (m : Ir.Instr.t) ->
+            if m.id = pin then acc else (pin, m.id) :: acc)
+          acc mems)
+      entry.known_alias pins
+
+let run ?(config = Vliw.Config.default) ?(max_blocks = 8)
+    ?(hot_threshold = 50) ?(max_reopts = 10) ?(fuel = 2_000_000)
+    ?(unroll = 1) ~scheme program =
+  let stats = Stats.create () in
+  let machine = Vliw.Machine.create () in
+  let profiler = Frontend.Profiler.create ~hot_threshold () in
+  let liveness = Frontend.Liveness.analyze program in
+  let fresh_id = ref (Ir.Program.max_instr_id program + 1) in
+  let cache : (Ir.Instr.label, cache_entry) Hashtbl.t = Hashtbl.create 64 in
+  let latency = Vliw.Config.latency config in
+  let data_cache = Option.map Vliw.Cache.create config.Vliw.Config.cache in
+  (* the scheme's register count governs the allocator; the machine
+     must expose at least that many (the region executor guards it) *)
+  let policy = scheme.policy in
+  let charge_optimize n_instrs =
+    let opt_cost = n_instrs * config.Vliw.Config.optimize_cycles_per_instr in
+    let sched_cost = n_instrs * config.Vliw.Config.schedule_cycles_per_instr in
+    stats.Stats.optimize_cycles <- stats.Stats.optimize_cycles + opt_cost;
+    stats.Stats.schedule_cycles <- stats.Stats.schedule_cycles + sched_cost;
+    stats.Stats.total_cycles <- stats.Stats.total_cycles + opt_cost
+  in
+  let optimize_superblock ~known_alias sb =
+    Opt.Optimizer.optimize ~policy
+      ~issue_width:config.Vliw.Config.issue_width
+      ~mem_ports:config.Vliw.Config.mem_ports ~latency ~fresh_id ~known_alias
+      sb
+  in
+  let build_region label =
+    let sb =
+      Frontend.Region_form.form
+        ~params:
+          {
+            Frontend.Region_form.max_blocks;
+            min_bias = Frontend.Region_form.default_params.Frontend.Region_form.min_bias;
+          }
+        ~program ~liveness ~profiler ~fresh_id label
+    in
+    let sb =
+      if unroll > 1 then
+        Option.value
+          (Opt.Unroll.unroll ~factor:unroll ~fresh_id sb)
+          ~default:sb
+      else sb
+    in
+    let o = optimize_superblock ~known_alias:[] sb in
+    let ws = Sched.Working_set.measure ~sb ~outcome:{
+        Sched.List_sched.region = o.Opt.Optimizer.region;
+        alloc_result = o.Opt.Optimizer.alloc_result;
+        stats = o.Opt.Optimizer.stats.Opt.Optimizer.sched_stats;
+      }
+    in
+    Stats.note_region_built stats o ~ws;
+    charge_optimize o.Opt.Optimizer.stats.Opt.Optimizer.work_units;
+    Hashtbl.replace cache label
+      {
+        region = o.Opt.Optimizer.region;
+        known_alias = [];
+        pinned = [];
+        reopts = 0;
+        gave_up = false;
+        sb;
+      }
+  in
+  let reoptimize entry (v : Hw.Detector.violation) =
+    stats.Stats.reoptimizations <- stats.Stats.reoptimizations + 1;
+    entry.reopts <- entry.reopts + 1;
+    let pair = (v.Hw.Detector.setter, v.Hw.Detector.checker) in
+    if entry.reopts > max_reopts then begin
+      entry.gave_up <- true;
+      stats.Stats.gave_up_regions <- stats.Stats.gave_up_regions + 1
+    end
+    else if pair_mem pair entry.known_alias then
+      (* the same pair violated twice: pin both ops out of speculation *)
+      entry.pinned <-
+        v.Hw.Detector.setter :: v.Hw.Detector.checker :: entry.pinned
+    else entry.known_alias <- pair :: entry.known_alias;
+    let o =
+      if entry.gave_up then
+        Opt.Optimizer.optimize ~policy:(Sched.Policy.none ())
+          ~issue_width:config.Vliw.Config.issue_width
+          ~mem_ports:config.Vliw.Config.mem_ports ~latency ~fresh_id
+          ~known_alias:[] entry.sb
+      else optimize_superblock ~known_alias:(known_with_pins entry) entry.sb
+    in
+    charge_optimize o.Opt.Optimizer.stats.Opt.Optimizer.work_units;
+    entry.region <- o.Opt.Optimizer.region
+  in
+  let blocks_left = ref fuel in
+  let rec step label =
+    if !blocks_left <= 0 then raise Frontend.Interp.Out_of_fuel;
+    decr blocks_left;
+    match Hashtbl.find_opt cache label with
+    | Some entry ->
+      stats.Stats.region_entries <- stats.Stats.region_entries + 1;
+      let r =
+        Vliw.Region_exec.run ~config ~detector:scheme.detector ~machine
+          ?cache:data_cache entry.region
+      in
+      stats.Stats.region_cycles <- stats.Stats.region_cycles + r.Vliw.Region_exec.cycles;
+      stats.Stats.total_cycles <- stats.Stats.total_cycles + r.Vliw.Region_exec.cycles;
+      stats.Stats.alias_checks <-
+        stats.Stats.alias_checks + r.Vliw.Region_exec.alias_checks;
+      (match r.Vliw.Region_exec.outcome with
+      | Vliw.Region_exec.Committed next ->
+        stats.Stats.region_commits <- stats.Stats.region_commits + 1;
+        (match next with
+        | Some l ->
+          if not (Some l = entry.region.Ir.Region.final_exit) then
+            stats.Stats.side_exits_taken <- stats.Stats.side_exits_taken + 1;
+          step l
+        | None -> ())
+      | Vliw.Region_exec.Alias_fault v ->
+        stats.Stats.rollbacks <- stats.Stats.rollbacks + 1;
+        let pair = (v.Hw.Detector.setter, v.Hw.Detector.checker) in
+        if not (pair_mem pair entry.region.Ir.Region.assumed_no_alias) then
+          stats.Stats.rollbacks_not_assumed <-
+            stats.Stats.rollbacks_not_assumed + 1;
+        reoptimize entry v;
+        step label)
+    | None ->
+      let b = Ir.Program.block program label in
+      Frontend.Profiler.note_execution profiler label;
+      let next = Frontend.Interp.exec_block machine b in
+      (match next with
+      | Some l -> Frontend.Profiler.note_edge profiler label l
+      | None -> ());
+      let n = List.length b.Ir.Block.body + 1 in
+      stats.Stats.instrs_interpreted <- stats.Stats.instrs_interpreted + n;
+      let c = n * config.Vliw.Config.interp_cycles_per_instr in
+      stats.Stats.interp_cycles <- stats.Stats.interp_cycles + c;
+      stats.Stats.total_cycles <- stats.Stats.total_cycles + c;
+      if Frontend.Profiler.is_hot profiler label then build_region label;
+      (match next with
+      | Some l -> step l
+      | None -> ())
+  in
+  step program.Ir.Program.entry;
+  { stats; machine }

@@ -1,0 +1,54 @@
+(** The dynamic optimization system of Figure 1: interpret cold code
+    while profiling, form superblocks at hot seeds, optimize them
+    speculatively, execute the translations as atomic regions on the
+    VLIW, and service alias exceptions by rolling back and
+    re-optimizing conservatively.
+
+    Re-optimization policy: the violating pair is added to the region's
+    known-alias set; if the same pair violates again (possible only for
+    schemes with false positives), both operations are pinned —
+    excluded from speculation entirely; after [max_reopts] the region
+    is rebuilt without speculation for good. *)
+
+type scheme = {
+  policy : Sched.Policy.t;
+  detector : Hw.Detector.t;
+}
+
+val scheme_smarq : ?ar_count:int -> unit -> scheme
+(** Defaults to 64 alias registers. *)
+
+val scheme_smarq_no_store_reorder : ?ar_count:int -> unit -> scheme
+
+(** Program-order allocation on the same ordered-queue hardware
+    (the Section 2.4 baseline SMARQ improves on). *)
+val scheme_naive_order : ?ar_count:int -> unit -> scheme
+
+val scheme_alat : unit -> scheme
+val scheme_efficeon : unit -> scheme
+val scheme_none : unit -> scheme
+
+val scheme_none_with_analysis : unit -> scheme
+(** No hardware, but constant-base static disambiguation (related
+    work [13]): the measure of how far software-only analysis gets. *)
+
+type result = {
+  stats : Stats.t;
+  machine : Vliw.Machine.t;
+}
+
+val run :
+  ?config:Vliw.Config.t ->
+  ?max_blocks:int ->
+  ?hot_threshold:int ->
+  ?max_reopts:int ->
+  ?fuel:int ->
+  ?unroll:int ->
+  scheme:scheme ->
+  Ir.Program.t ->
+  result
+(** Runs the program to halt under the dynamic optimization system.
+    [fuel] bounds executed guest blocks (default 2,000,000); raises
+    [Frontend.Interp.Out_of_fuel] beyond it.  [unroll] (default 1)
+    unrolls self-loop superblocks that many times before optimization —
+    the larger-regions experiment of the paper's conclusion. *)

@@ -1,0 +1,124 @@
+type t = {
+  mutable total_cycles : int;
+  mutable interp_cycles : int;
+  mutable region_cycles : int;
+  mutable optimize_cycles : int;
+  mutable schedule_cycles : int;
+  mutable instrs_interpreted : int;
+  mutable region_entries : int;
+  mutable region_commits : int;
+  mutable side_exits_taken : int;
+  mutable rollbacks : int;
+  mutable rollbacks_not_assumed : int;
+  mutable reoptimizations : int;
+  mutable gave_up_regions : int;
+  mutable alias_checks : int;
+  mutable regions_built : int;
+  mutable superblock_instrs : int;
+  mutable superblock_mem_ops : int;
+  mutable p_bits : int;
+  mutable c_bits : int;
+  mutable check_constraints : int;
+  mutable anti_constraints : int;
+  mutable amov_fresh : int;
+  mutable amov_clear : int;
+  mutable loads_eliminated : int;
+  mutable stores_eliminated : int;
+  mutable overflow_fallbacks : int;
+  mutable nonspec_mode_regions : int;
+  mutable working_set : Sched.Working_set.t;
+}
+
+let create () =
+  {
+    total_cycles = 0;
+    interp_cycles = 0;
+    region_cycles = 0;
+    optimize_cycles = 0;
+    schedule_cycles = 0;
+    instrs_interpreted = 0;
+    region_entries = 0;
+    region_commits = 0;
+    side_exits_taken = 0;
+    rollbacks = 0;
+    rollbacks_not_assumed = 0;
+    reoptimizations = 0;
+    gave_up_regions = 0;
+    alias_checks = 0;
+    regions_built = 0;
+    superblock_instrs = 0;
+    superblock_mem_ops = 0;
+    p_bits = 0;
+    c_bits = 0;
+    check_constraints = 0;
+    anti_constraints = 0;
+    amov_fresh = 0;
+    amov_clear = 0;
+    loads_eliminated = 0;
+    stores_eliminated = 0;
+    overflow_fallbacks = 0;
+    nonspec_mode_regions = 0;
+    working_set = Sched.Working_set.zero;
+  }
+
+let note_region_built t (o : Opt.Optimizer.t) ~ws =
+  let s = o.Opt.Optimizer.stats in
+  let ss = s.Opt.Optimizer.sched_stats in
+  t.regions_built <- t.regions_built + 1;
+  t.superblock_instrs <- t.superblock_instrs + ss.Sched.List_sched.instr_count;
+  t.superblock_mem_ops <- t.superblock_mem_ops + ss.Sched.List_sched.mem_ops;
+  t.p_bits <- t.p_bits + ss.Sched.List_sched.p_bits;
+  t.c_bits <- t.c_bits + ss.Sched.List_sched.c_bits;
+  t.check_constraints <-
+    t.check_constraints + ss.Sched.List_sched.check_constraints;
+  t.anti_constraints <-
+    t.anti_constraints + ss.Sched.List_sched.anti_constraints;
+  t.amov_fresh <- t.amov_fresh + ss.Sched.List_sched.amov_fresh;
+  t.amov_clear <- t.amov_clear + ss.Sched.List_sched.amov_clear;
+  t.loads_eliminated <- t.loads_eliminated + s.Opt.Optimizer.loads_eliminated;
+  t.stores_eliminated <-
+    t.stores_eliminated + s.Opt.Optimizer.stores_eliminated;
+  if s.Opt.Optimizer.fell_back then
+    t.overflow_fallbacks <- t.overflow_fallbacks + 1;
+  if ss.Sched.List_sched.used_nonspec_mode then
+    t.nonspec_mode_regions <- t.nonspec_mode_regions + 1;
+  t.working_set <- Sched.Working_set.add t.working_set ws
+
+let mem_ops_per_superblock t =
+  if t.regions_built = 0 then 0.0
+  else float_of_int t.superblock_mem_ops /. float_of_int t.regions_built
+
+let constraints_per_mem_op t =
+  if t.superblock_mem_ops = 0 then (0.0, 0.0)
+  else
+    ( float_of_int t.check_constraints /. float_of_int t.superblock_mem_ops,
+      float_of_int t.anti_constraints /. float_of_int t.superblock_mem_ops )
+
+let optimize_fraction t =
+  if t.total_cycles = 0 then (0.0, 0.0)
+  else
+    ( float_of_int t.optimize_cycles /. float_of_int t.total_cycles,
+      float_of_int t.schedule_cycles /. float_of_int t.total_cycles )
+
+let pp ppf t =
+  let f name v = Format.fprintf ppf "  %-26s %d@." name v in
+  f "total cycles" t.total_cycles;
+  f "  interpreted" t.interp_cycles;
+  f "  in regions" t.region_cycles;
+  f "  optimizing" t.optimize_cycles;
+  f "instrs interpreted" t.instrs_interpreted;
+  f "region entries" t.region_entries;
+  f "region commits" t.region_commits;
+  f "side exits taken" t.side_exits_taken;
+  f "rollbacks" t.rollbacks;
+  f "  not assumed (FP)" t.rollbacks_not_assumed;
+  f "reoptimizations" t.reoptimizations;
+  f "regions built" t.regions_built;
+  f "loads eliminated" t.loads_eliminated;
+  f "stores eliminated" t.stores_eliminated;
+  f "check constraints" t.check_constraints;
+  f "anti constraints" t.anti_constraints;
+  f "AMOVs (fresh/clear)" (t.amov_fresh + t.amov_clear);
+  f "alias checks" t.alias_checks;
+  Format.fprintf ppf "  %-26s %.2f@." "mem ops / superblock"
+    (mem_ops_per_superblock t)

@@ -1,0 +1,52 @@
+(** Statistics collected by the dynamic optimization system — the raw
+    material for every figure in the paper's evaluation. *)
+
+type t = {
+  (* cycle accounting *)
+  mutable total_cycles : int;
+  mutable interp_cycles : int;
+  mutable region_cycles : int;
+  mutable optimize_cycles : int;  (** total optimizer cost (Fig 18) *)
+  mutable schedule_cycles : int;  (** scheduling share of the above *)
+  (* dynamic events *)
+  mutable instrs_interpreted : int;
+  mutable region_entries : int;
+  mutable region_commits : int;
+  mutable side_exits_taken : int;
+  mutable rollbacks : int;
+  mutable rollbacks_not_assumed : int;
+      (** rollbacks whose pair was not a recorded speculation — false
+          positives by construction *)
+  mutable reoptimizations : int;
+  mutable gave_up_regions : int;
+  mutable alias_checks : int;
+  (* static, per region built *)
+  mutable regions_built : int;
+  mutable superblock_instrs : int;
+  mutable superblock_mem_ops : int;
+  mutable p_bits : int;
+  mutable c_bits : int;
+  mutable check_constraints : int;
+  mutable anti_constraints : int;
+  mutable amov_fresh : int;
+  mutable amov_clear : int;
+  mutable loads_eliminated : int;
+  mutable stores_eliminated : int;
+  mutable overflow_fallbacks : int;
+  mutable nonspec_mode_regions : int;
+  mutable working_set : Sched.Working_set.t;
+}
+
+val create : unit -> t
+
+val note_region_built : t -> Opt.Optimizer.t -> ws:Sched.Working_set.t -> unit
+
+val mem_ops_per_superblock : t -> float
+val constraints_per_mem_op : t -> float * float
+(** (check, anti) per memory operation. *)
+
+val optimize_fraction : t -> float * float
+(** (total optimization, scheduling only) as fractions of total
+    cycles. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sched/alat_annot.ml: Analysis Hashtbl Hazards Ir List Option

@@ -1,0 +1,1 @@
+lib/sched/alat_annot.mli: Analysis Hazards Ir

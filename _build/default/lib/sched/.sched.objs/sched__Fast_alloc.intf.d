@@ -1,0 +1,1 @@
+lib/sched/fast_alloc.mli: Analysis Hashtbl

@@ -1,0 +1,1 @@
+lib/sched/hazards.ml: Analysis Array Hashtbl Ir List Option Policy

@@ -1,0 +1,1 @@
+lib/sched/hazards.mli: Analysis Hashtbl Ir Policy

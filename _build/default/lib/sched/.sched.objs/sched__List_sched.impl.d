@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Alat_annot Analysis Array Hashtbl Hazards Int Ir List Mask_alloc Naive_alloc Option Policy Printf Priority Smarq_alloc

@@ -1,0 +1,1 @@
+lib/sched/mask_alloc.ml: Analysis Array Hashtbl Ir List Option Printf

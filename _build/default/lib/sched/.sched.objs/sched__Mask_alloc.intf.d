@@ -1,0 +1,1 @@
+lib/sched/mask_alloc.mli: Analysis Hazards Ir

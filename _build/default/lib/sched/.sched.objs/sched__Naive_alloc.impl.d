@@ -1,0 +1,1 @@
+lib/sched/naive_alloc.ml: Hashtbl Ir List Printf

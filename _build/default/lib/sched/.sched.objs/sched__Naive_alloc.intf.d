@@ -1,0 +1,1 @@
+lib/sched/naive_alloc.mli: Ir

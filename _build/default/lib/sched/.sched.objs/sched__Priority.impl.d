@@ -1,0 +1,1 @@
+lib/sched/priority.ml: Hashtbl Hazards Ir List

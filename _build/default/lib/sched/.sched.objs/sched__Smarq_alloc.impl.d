@@ -1,0 +1,1 @@
+lib/sched/smarq_alloc.ml: Analysis Hashtbl Ir List Option Printf Queue String

@@ -1,0 +1,1 @@
+lib/sched/smarq_alloc.mli: Analysis Ir

@@ -1,0 +1,1 @@
+lib/sched/working_set.ml: Analysis Hashtbl Int Ir List List_sched Option Smarq_alloc

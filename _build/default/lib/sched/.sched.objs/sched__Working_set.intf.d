@@ -1,0 +1,1 @@
+lib/sched/working_set.mli: Ir List_sched

@@ -1,0 +1,28 @@
+let annotate ~sb ~deps ~hazards ~issue_order =
+  ignore sb;
+  let issue_pos = Hashtbl.create 64 in
+  List.iteri
+    (fun idx (_, (i : Ir.Instr.t)) -> Hashtbl.replace issue_pos i.id idx)
+    issue_order;
+  let pos id = Option.value (Hashtbl.find_opt issue_pos id) ~default:max_int in
+  let advanced = Hashtbl.create 16 in
+  (* dropped (store, load) pairs where the load really moved above *)
+  List.iter
+    (fun (first, second) ->
+      if pos second < pos first then Hashtbl.replace advanced second ())
+    Hazards.(hazards.dropped);
+  (* forwarding sources: the [second] of an extended dependence *)
+  List.iter
+    (fun (e : Analysis.Depgraph.edge) ->
+      match e.kind with
+      | Analysis.Depgraph.Extended -> Hashtbl.replace advanced e.second ()
+      | Analysis.Depgraph.Real -> ())
+    (Analysis.Depgraph.edges deps);
+  List.filter_map
+    (fun (_, (i : Ir.Instr.t)) ->
+      if Ir.Instr.is_load i && Hashtbl.mem advanced i.id then
+        Some (i.id, Ir.Annot.alat ~advanced:true)
+      else if Ir.Instr.is_store i then
+        Some (i.id, Ir.Annot.alat ~advanced:false)
+      else None)
+    issue_order

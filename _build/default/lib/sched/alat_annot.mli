@@ -1,0 +1,16 @@
+(** ALAT (Itanium-like) annotation post-pass.
+
+    Marks as {e advanced} every load whose protection the table must
+    provide: loads that actually issued before a may-alias store they
+    originally followed (a dropped dependence realized by the
+    schedule), and loads acting as forwarding sources of a speculative
+    load elimination (extended dependences).  Stores snoop the table
+    implicitly; they receive a plain [Alat] annotation for
+    readability. *)
+
+val annotate :
+  sb:Ir.Superblock.t ->
+  deps:Analysis.Depgraph.t ->
+  hazards:Hazards.t ->
+  issue_order:(int * Ir.Instr.t) list ->
+  (int * Ir.Annot.t) list

@@ -1,0 +1,45 @@
+type t = {
+  order : (int, int) Hashtbl.t;
+  base : (int, int) Hashtbl.t;
+  max_offset : int;
+}
+
+let allocate ~issue_order ~p_bit ~c_bit ~edges =
+  let ids = List.filter (fun id -> p_bit id || c_bit id) issue_order in
+  match Analysis.Constraints.topological_order edges ~ids with
+  | None -> None
+  | Some topo ->
+    let order = Hashtbl.create 64 in
+    let next = ref 0 in
+    List.iter
+      (fun id ->
+        Hashtbl.replace order id !next;
+        if p_bit id then incr next)
+      topo;
+    (* MAX-BASE: base(X) = min order over ops issuing at or after X,
+       via a right-to-left scan of the issue order *)
+    let base = Hashtbl.create 64 in
+    let rev = List.rev ids in
+    let running = ref max_int in
+    let bases_rev =
+      List.map
+        (fun id ->
+          (match Hashtbl.find_opt order id with
+          | Some o -> running := min !running o
+          | None -> ());
+          (id, !running))
+        rev
+    in
+    List.iter
+      (fun (id, b) ->
+        Hashtbl.replace base id (if b = max_int then 0 else b))
+      bases_rev;
+    let max_offset =
+      List.fold_left
+        (fun acc id ->
+          match Hashtbl.find_opt order id, Hashtbl.find_opt base id with
+          | Some o, Some b -> max acc (o - b)
+          | _ -> acc)
+        (-1) ids
+    in
+    Some { order; base; max_offset }

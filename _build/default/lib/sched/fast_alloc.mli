@@ -1,0 +1,28 @@
+(** The standalone FAST ALGORITHM of Section 5.1, for acyclic
+    constraint graphs.
+
+    Given final P/C bits, constraint edges and the issue order, it
+    allocates register orders by topological traversal of the
+    constraint graph ([order(X) = next_order], [next_order++] only for
+    P operations) and then maximizes each operation's BASE with the
+    MAX-BASE formula ([base(X)] = min order over operations issuing at
+    or after X).
+
+    The integrated allocator of {!Smarq_alloc} must agree with this
+    algorithm on the working set for reorder-only regions; the test
+    suite checks that. *)
+
+type t = {
+  order : (int, int) Hashtbl.t;
+  base : (int, int) Hashtbl.t;
+  max_offset : int;
+}
+
+val allocate :
+  issue_order:int list ->
+  p_bit:(int -> bool) ->
+  c_bit:(int -> bool) ->
+  edges:Analysis.Constraints.edge list ->
+  t option
+(** [None] when the constraint graph has a cycle (the integrated
+    algorithm would have inserted an AMOV). *)

@@ -1,0 +1,119 @@
+type t = {
+  preds : (int, int list) Hashtbl.t;
+  succs : (int, int list) Hashtbl.t;
+  dropped : (int * int) list;
+}
+
+let add_edge ~preds ~succs ~seen a b =
+  if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+    Hashtbl.replace seen (a, b) ();
+    let p = Option.value (Hashtbl.find_opt preds b) ~default:[] in
+    Hashtbl.replace preds b (a :: p);
+    let s = Option.value (Hashtbl.find_opt succs a) ~default:[] in
+    Hashtbl.replace succs a (b :: s)
+  end
+
+(* RAW, WAR, WAW edges over the straight-line body. *)
+let register_edges ~body ~add =
+  let last_def : (Ir.Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let uses_since_def : (Ir.Reg.t, int list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (i : Ir.Instr.t) ->
+      List.iter
+        (fun r ->
+          (* RAW: reader depends on the last writer *)
+          (match Hashtbl.find_opt last_def r with
+          | Some d -> add d i.id
+          | None -> ());
+          let l = Option.value (Hashtbl.find_opt uses_since_def r) ~default:[] in
+          Hashtbl.replace uses_since_def r (i.id :: l))
+        (Ir.Instr.uses i);
+      List.iter
+        (fun r ->
+          (* WAW on the previous writer, WAR on readers since then *)
+          (match Hashtbl.find_opt last_def r with
+          | Some d -> add d i.id
+          | None -> ());
+          List.iter
+            (fun u -> add u i.id)
+            (Option.value (Hashtbl.find_opt uses_since_def r) ~default:[]);
+          Hashtbl.replace last_def r i.id;
+          Hashtbl.replace uses_since_def r [])
+        (Ir.Instr.defs i))
+    body
+
+(* Memory edges: hard dependences always; speculative ones unless the
+   policy may drop them. *)
+let memory_edges ~body ~deps ~policy ~add =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (i : Ir.Instr.t) -> Hashtbl.replace by_id i.id i) body;
+  let dropped = ref [] in
+  List.iter
+    (fun (first, second, strength) ->
+      match strength with
+      | Analysis.Depgraph.Hard -> add first second
+      | Analysis.Depgraph.Speculative ->
+        (match Hashtbl.find_opt by_id first, Hashtbl.find_opt by_id second with
+        | Some fi, Some si ->
+          if Policy.may_drop_edge policy ~first:fi ~second:si then
+            dropped := (first, second) :: !dropped
+          else add first second
+        | _ -> add first second))
+    (Analysis.Depgraph.mem_dep_pairs deps);
+  !dropped
+
+(* Control edges around side exits:
+   - branch-branch program order;
+   - a store or a definition of a register live at an exit stays on
+     its original side of that exit (edges in both directions). *)
+let control_edges ~sb ~add =
+  let body = sb.Ir.Superblock.body in
+  let last_branch = ref None in
+  List.iter
+    (fun (i : Ir.Instr.t) ->
+      if Ir.Instr.is_side_exit i then begin
+        (match !last_branch with
+        | Some b -> add b i.id
+        | None -> ());
+        last_branch := Some i.id
+      end)
+    body;
+  let crosses_exit_blocked (i : Ir.Instr.t) live =
+    Ir.Instr.is_store i
+    || List.exists (fun r -> Ir.Reg.Set.mem r live) (Ir.Instr.defs i)
+  in
+  let arr = Array.of_list body in
+  let n = Array.length arr in
+  let exits = ref [] in
+  for idx = 0 to n - 1 do
+    let i = arr.(idx) in
+    if Ir.Instr.is_side_exit i then begin
+      let live = Ir.Superblock.exit_live_out sb i.id in
+      (* earlier instructions that must stay before this exit *)
+      for k = 0 to idx - 1 do
+        let j = arr.(k) in
+        if (not (Ir.Instr.is_side_exit j)) && crosses_exit_blocked j live then
+          add j.id i.id
+      done;
+      exits := (i.id, live) :: !exits
+    end
+    else
+      (* later instruction blocked from hoisting above earlier exits *)
+      List.iter
+        (fun (bid, live) ->
+          if crosses_exit_blocked i live then add bid i.id)
+        !exits
+  done
+
+let build ~sb ~deps ~policy =
+  let preds = Hashtbl.create 256 and succs = Hashtbl.create 256 in
+  let seen = Hashtbl.create 1024 in
+  let add a b = add_edge ~preds ~succs ~seen a b in
+  let body = sb.Ir.Superblock.body in
+  register_edges ~body ~add;
+  let dropped = memory_edges ~body ~deps ~policy ~add in
+  control_edges ~sb ~add;
+  { preds; succs; dropped }
+
+let preds t id = Option.value (Hashtbl.find_opt t.preds id) ~default:[]
+let succs t id = Option.value (Hashtbl.find_opt t.succs id) ~default:[]

@@ -1,0 +1,28 @@
+(** Scheduling precedence edges for a superblock body.
+
+    Three families of hard edges:
+    - register dependences (RAW, WAR, WAW);
+    - memory dependences from the dependence graph: must-alias edges
+      always, may-alias edges only when the policy forbids reordering
+      that pair;
+    - control edges around side exits: stores never cross a branch in
+      either direction; a definition of a register live at an exit
+      never crosses that exit; branches stay ordered among themselves.
+
+    Dropped may-alias edges are returned separately — they are the
+    speculation assumptions the region records for re-optimization. *)
+
+type t = {
+  preds : (int, int list) Hashtbl.t;  (** instr id -> predecessor ids *)
+  succs : (int, int list) Hashtbl.t;
+  dropped : (int * int) list;  (** speculated-away may-alias pairs *)
+}
+
+val build :
+  sb:Ir.Superblock.t ->
+  deps:Analysis.Depgraph.t ->
+  policy:Policy.t ->
+  t
+
+val preds : t -> int -> int list
+val succs : t -> int -> int list

@@ -1,0 +1,312 @@
+type stats = {
+  schedule_length : int;
+  instr_count : int;
+  mem_ops : int;
+  p_bits : int;
+  c_bits : int;
+  check_constraints : int;
+  anti_constraints : int;
+  amov_fresh : int;
+  amov_clear : int;
+  ar_working_set : int;
+  dropped_pairs : int;
+  used_nonspec_mode : bool;
+}
+
+type outcome = {
+  region : Ir.Region.t;
+  alloc_result : Smarq_alloc.result option;
+  stats : stats;
+}
+
+exception Unschedulable of string
+
+(* The issue sequence: instruction ids in execution order, with the
+   cycle each issued in. *)
+type issued = {
+  seq : (int * Ir.Instr.t) list;  (* reverse issue order: (cycle, instr) *)
+  length : int;
+}
+
+let schedule_core ~sb ~hazards ~heights ~issue_width ~mem_ports ~latency
+    ~alloc =
+  let body = Array.of_list sb.Ir.Superblock.body in
+  let n = Array.length body in
+  let by_id = Hashtbl.create (n * 2) in
+  Array.iter (fun (i : Ir.Instr.t) -> Hashtbl.replace by_id i.id i) body;
+  let position = Hashtbl.create (n * 2) in
+  Array.iteri (fun idx (i : Ir.Instr.t) -> Hashtbl.replace position i.id idx)
+    body;
+  let scheduled_at = Hashtbl.create (n * 2) in
+  let is_scheduled id = Hashtbl.mem scheduled_at id in
+  (* memory ops in program order, for non-speculation mode *)
+  let mem_ids_in_order =
+    Array.to_list body
+    |> List.filter Ir.Instr.is_memory
+    |> List.map (fun (i : Ir.Instr.t) -> i.id)
+  in
+  let next_mem_index = ref 0 in
+  let mem_ids_arr = Array.of_list mem_ids_in_order in
+  let advance_next_mem () =
+    while
+      !next_mem_index < Array.length mem_ids_arr
+      && is_scheduled mem_ids_arr.(!next_mem_index)
+    do
+      incr next_mem_index
+    done
+  in
+  let earliest id =
+    List.fold_left
+      (fun acc p ->
+        match Hashtbl.find_opt scheduled_at p with
+        | Some c ->
+          let pi = Hashtbl.find by_id p in
+          max acc (c + latency pi)
+        | None -> max_int)
+      0
+      (Hazards.preds hazards id)
+  in
+  let height id = Option.value (Hashtbl.find_opt heights id) ~default:1 in
+  let used_nonspec = ref false in
+  let seq = ref [] in
+  let remaining = ref n in
+  let cycle = ref 0 in
+  let stall_guard = ref 0 in
+  while !remaining > 0 do
+    let c = !cycle in
+    (* non-speculation mode? *)
+    let nonspec =
+      match alloc with
+      | Some a -> Smarq_alloc.overflow_risk a ~lookahead_p:2
+      | None -> false
+    in
+    if nonspec then used_nonspec := true;
+    advance_next_mem ();
+    let mem_allowed id =
+      if not nonspec then true
+      else
+        !next_mem_index < Array.length mem_ids_arr
+        && mem_ids_arr.(!next_mem_index) = id
+    in
+    (* gather ready instructions *)
+    let ready = ref [] in
+    Array.iter
+      (fun (i : Ir.Instr.t) ->
+        if (not (is_scheduled i.id)) && earliest i.id <= c then
+          if Ir.Instr.is_memory i then begin
+            if mem_allowed i.id then ready := i :: !ready
+          end
+          else ready := i :: !ready)
+      body;
+    let ready =
+      List.sort
+        (fun (a : Ir.Instr.t) (b : Ir.Instr.t) ->
+          let c1 = Int.compare (height b.id) (height a.id) in
+          if c1 <> 0 then c1
+          else
+            Int.compare
+              (Hashtbl.find position a.id)
+              (Hashtbl.find position b.id))
+        !ready
+    in
+    let slots = ref issue_width and mslots = ref mem_ports in
+    let branch_used = ref false in
+    let issued_this_cycle = ref 0 in
+    List.iter
+      (fun (i : Ir.Instr.t) ->
+        let is_mem = Ir.Instr.is_memory i in
+        let is_br = Ir.Instr.is_branch i in
+        if
+          !slots > 0
+          && ((not is_mem) || !mslots > 0)
+          && ((not is_br) || not !branch_used)
+        then begin
+          (* issue *)
+          Hashtbl.replace scheduled_at i.id c;
+          decr slots;
+          if is_mem then begin
+            decr mslots;
+            match alloc with
+            | Some a -> Smarq_alloc.on_schedule a i
+            | None -> ()
+          end;
+          if is_br then branch_used := true;
+          seq := (c, i) :: !seq;
+          decr remaining;
+          incr issued_this_cycle;
+          if is_mem && nonspec then advance_next_mem ()
+        end)
+      ready;
+    if !issued_this_cycle = 0 then begin
+      incr stall_guard;
+      if !stall_guard > n + 1000 then
+        raise
+          (Unschedulable
+             (Printf.sprintf
+                "no progress at cycle %d with %d instructions remaining" c
+                !remaining))
+    end
+    else stall_guard := 0;
+    incr cycle
+  done;
+  let length =
+    1 + List.fold_left (fun acc (c, _) -> max acc c) 0 !seq
+  in
+  ({ seq = !seq; length }, !used_nonspec)
+
+(* Materialize the issue sequence into bundles, splicing in AMOV and
+   Rotate instructions and applying annotations. *)
+let materialize ~issued ~annots ~rotations ~amovs ~fresh_id =
+  let annot_tbl = Hashtbl.create 64 in
+  List.iter (fun (id, a) -> Hashtbl.replace annot_tbl id a) annots;
+  let rot_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (id, k) ->
+      let cur = Option.value (Hashtbl.find_opt rot_tbl id) ~default:0 in
+      Hashtbl.replace rot_tbl id (cur + k))
+    rotations;
+  let amov_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Smarq_alloc.amov_insertion) ->
+      let cur = Option.value (Hashtbl.find_opt amov_tbl a.before) ~default:[] in
+      Hashtbl.replace amov_tbl a.before (a :: cur))
+    amovs;
+  let bundles_tbl = Hashtbl.create 64 in
+  let push cycle instr =
+    let l = Option.value (Hashtbl.find_opt bundles_tbl cycle) ~default:[] in
+    Hashtbl.replace bundles_tbl cycle (instr :: l)
+  in
+  (* walk in issue order *)
+  List.iter
+    (fun (cycle, (i : Ir.Instr.t)) ->
+      (* AMOVs scheduled just before their anchor, same cycle *)
+      (match Hashtbl.find_opt amov_tbl i.id with
+      | Some l ->
+        List.iter
+          (fun (a : Smarq_alloc.amov_insertion) ->
+            push cycle
+              (Ir.Instr.make ~id:a.amov_id
+                 (Ir.Instr.Amov
+                    { src_offset = a.src_offset; dst_offset = a.dst_offset })))
+          (List.rev l)
+      | None -> ());
+      let i =
+        match Hashtbl.find_opt annot_tbl i.id with
+        | Some a -> Ir.Instr.with_annot i a
+        | None -> i
+      in
+      push cycle i;
+      match Hashtbl.find_opt rot_tbl i.id with
+      | Some k when k > 0 ->
+        let id = !fresh_id in
+        incr fresh_id;
+        push cycle (Ir.Instr.make ~id (Ir.Instr.Rotate k))
+      | Some _ | None -> ())
+    (List.rev issued.seq);
+  Array.init issued.length (fun c ->
+      List.rev (Option.value (Hashtbl.find_opt bundles_tbl c) ~default:[]))
+
+let schedule ~sb ~deps ~policy ~issue_width ~mem_ports ~latency ~fresh_id
+    ?(extra_assumed = []) () =
+  let hazards = Hazards.build ~sb ~deps ~policy in
+  let heights =
+    Priority.heights ~body:sb.Ir.Superblock.body ~hazards ~latency
+  in
+  let alloc =
+    match policy.Policy.scheme with
+    | Policy.Queue_scheme ->
+      Some
+        (Smarq_alloc.create ~body:sb.Ir.Superblock.body ~deps
+           ~ar_count:policy.Policy.ar_count ~fresh_id)
+    | Policy.Naive_queue_scheme | Policy.Mask_scheme | Policy.Alat_scheme
+    | Policy.No_scheme ->
+      None
+  in
+  let issued, used_nonspec =
+    schedule_core ~sb ~hazards ~heights ~issue_width ~mem_ports ~latency
+      ~alloc
+  in
+  let alloc_result = Option.map Smarq_alloc.finish alloc in
+  let annots, rotations, amovs =
+    match alloc_result with
+    | Some r -> (r.Smarq_alloc.annots, r.Smarq_alloc.rotations, r.Smarq_alloc.amovs)
+    | None -> ([], [], [])
+  in
+  (* scheme-specific annotation post-passes *)
+  let annots, rotations, naive_max_offset =
+    match policy.Policy.scheme with
+    | Policy.Queue_scheme | Policy.No_scheme -> (annots, rotations, None)
+    | Policy.Alat_scheme ->
+      ( Alat_annot.annotate ~sb ~deps ~hazards
+          ~issue_order:(List.rev issued.seq),
+        rotations,
+        None )
+    | Policy.Mask_scheme ->
+      ( Mask_alloc.annotate ~deps ~hazards
+          ~issue_order:(List.rev issued.seq)
+          ~ar_count:policy.Policy.ar_count,
+        rotations,
+        None )
+    | Policy.Naive_queue_scheme ->
+      let r =
+        Naive_alloc.annotate ~body:sb.Ir.Superblock.body
+          ~issue_order:(List.rev issued.seq)
+          ~ar_count:policy.Policy.ar_count
+      in
+      (r.Naive_alloc.annots, r.Naive_alloc.rotations,
+       Some r.Naive_alloc.max_offset)
+  in
+  let bundles = materialize ~issued ~annots ~rotations ~amovs ~fresh_id in
+  let max_offset =
+    match alloc_result, naive_max_offset with
+    | Some r, _ -> r.Smarq_alloc.max_offset
+    | None, Some m -> m
+    | None, None ->
+      List.fold_left
+        (fun acc (_, a) ->
+          match a with
+          | Ir.Annot.Mask { set_index = Some i; _ } -> max acc i
+          | _ -> acc)
+        (-1) annots
+  in
+  let assumed = Hazards.(hazards.dropped) @ extra_assumed in
+  let region =
+    Ir.Region.make ~entry:sb.Ir.Superblock.entry ~bundles
+      ~final_exit:sb.Ir.Superblock.final_exit ~ar_window:(max_offset + 1)
+      ~assumed_no_alias:assumed ~source:sb
+  in
+  let mem_ops = List.length (Ir.Superblock.memory_ops sb) in
+  let p_bits, c_bits, checks, antis, amov_fresh, amov_clear =
+    match alloc_result with
+    | Some r ->
+      ( Hashtbl.length r.Smarq_alloc.allocation.Analysis.Constraints.p_bit,
+        Hashtbl.length r.Smarq_alloc.allocation.Analysis.Constraints.c_bit,
+        List.length r.Smarq_alloc.check_edges,
+        List.length r.Smarq_alloc.anti_edges,
+        List.length
+          (List.filter
+             (fun (a : Smarq_alloc.amov_insertion) -> a.dst_is_fresh)
+             r.Smarq_alloc.amovs),
+        List.length
+          (List.filter
+             (fun (a : Smarq_alloc.amov_insertion) -> not a.dst_is_fresh)
+             r.Smarq_alloc.amovs) )
+    | None -> (0, 0, 0, 0, 0, 0)
+  in
+  let stats =
+    {
+      schedule_length = issued.length;
+      instr_count = Ir.Superblock.instr_count sb;
+      mem_ops;
+      p_bits;
+      c_bits;
+      check_constraints = checks;
+      anti_constraints = antis;
+      amov_fresh;
+      amov_clear;
+      ar_working_set = max_offset + 1;
+      dropped_pairs = List.length Hazards.(hazards.dropped);
+      used_nonspec_mode = used_nonspec;
+    }
+  in
+  { region; alloc_result; stats }

@@ -1,0 +1,79 @@
+exception Mask_overflow of string
+
+(* Which (protected, checker) pairs need a runtime check?  Exactly the
+   pairs SMARQ would check: a dependence realized out of order, or an
+   extended dependence in either order.  The protected op is whichever
+   of the pair issues first; the checker issues second. *)
+let check_pairs ~deps ~hazards ~pos =
+  let pairs = ref [] in
+  List.iter
+    (fun (e : Analysis.Depgraph.edge) ->
+      let a = e.Analysis.Depgraph.first and b = e.second in
+      match e.kind, e.strength with
+      | _, Analysis.Depgraph.Hard -> ()
+      | Analysis.Depgraph.Real, Analysis.Depgraph.Speculative ->
+        (* checked only if actually reordered (b issued before a) *)
+        if pos b < pos a then pairs := (b, a) :: !pairs
+      | Analysis.Depgraph.Extended, Analysis.Depgraph.Speculative ->
+        (* always checked, in whichever issue order the pair landed *)
+        if pos a < pos b then pairs := (a, b) :: !pairs
+        else pairs := (b, a) :: !pairs)
+    (Analysis.Depgraph.edges deps);
+  (* only pairs whose edge was really dropped need checking; realized
+     reorderings of dropped edges are already covered above, but a
+     non-dropped pair cannot be reordered, so the filter is implicit *)
+  ignore hazards;
+  List.sort_uniq compare !pairs
+
+let annotate ~deps ~hazards ~issue_order ~ar_count =
+  let issue_pos = Hashtbl.create 64 in
+  List.iteri
+    (fun idx (_, (i : Ir.Instr.t)) -> Hashtbl.replace issue_pos i.id idx)
+    issue_order;
+  let pos id = Option.value (Hashtbl.find_opt issue_pos id) ~default:max_int in
+  let pairs = check_pairs ~deps ~hazards ~pos in
+  (* protected -> last checker issue position *)
+  let last_checker = Hashtbl.create 16 in
+  List.iter
+    (fun (p, c) ->
+      let cur = Option.value (Hashtbl.find_opt last_checker p) ~default:(-1) in
+      Hashtbl.replace last_checker p (max cur (pos c)))
+    pairs;
+  (* greedy register assignment in issue order *)
+  let reg_of = Hashtbl.create 16 in
+  let free_at = Array.make ar_count (-1) in  (* issue pos after which free *)
+  List.iter
+    (fun (_, (i : Ir.Instr.t)) ->
+      match Hashtbl.find_opt last_checker i.id with
+      | None -> ()
+      | Some last ->
+        let here = pos i.id in
+        let rec find k =
+          if k >= ar_count then
+            raise
+              (Mask_overflow
+                 (Printf.sprintf "no free mask register for instr %d" i.id))
+          else if free_at.(k) < here then k
+          else find (k + 1)
+        in
+        let k = find 0 in
+        free_at.(k) <- last;
+        Hashtbl.replace reg_of i.id k)
+    issue_order;
+  (* build annotations *)
+  let masks = Hashtbl.create 16 in
+  List.iter
+    (fun (p, c) ->
+      match Hashtbl.find_opt reg_of p with
+      | Some k ->
+        let m = Option.value (Hashtbl.find_opt masks c) ~default:0 in
+        Hashtbl.replace masks c (m lor (1 lsl k))
+      | None -> ())
+    pairs;
+  List.filter_map
+    (fun (_, (i : Ir.Instr.t)) ->
+      let set_index = Hashtbl.find_opt reg_of i.id in
+      let check_mask = Option.value (Hashtbl.find_opt masks i.id) ~default:0 in
+      if set_index = None && check_mask = 0 then None
+      else Some (i.id, Ir.Annot.mask ~set_index ~check_mask))
+    issue_order

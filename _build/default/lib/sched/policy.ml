@@ -1,0 +1,111 @@
+type annot_scheme =
+  | Queue_scheme
+  | Naive_queue_scheme
+  | Mask_scheme
+  | Alat_scheme
+  | No_scheme
+
+type t = {
+  name : string;
+  scheme : annot_scheme;
+  ar_count : int;
+  hoist_load_above_store : bool;
+  sink_load_below_store : bool;
+  reorder_store_store : bool;
+  allow_load_load_forward : bool;
+  allow_store_load_forward : bool;
+  allow_store_elim : bool;
+  static_disambiguation : bool;
+}
+
+let smarq ~ar_count =
+  {
+    name = Printf.sprintf "smarq%d" ar_count;
+    scheme = Queue_scheme;
+    ar_count;
+    hoist_load_above_store = true;
+    sink_load_below_store = true;
+    reorder_store_store = true;
+    allow_load_load_forward = true;
+    allow_store_load_forward = true;
+    allow_store_elim = true;
+    static_disambiguation = false;
+  }
+
+let naive_order ~ar_count =
+  {
+    name = Printf.sprintf "naive%d" ar_count;
+    scheme = Naive_queue_scheme;
+    ar_count;
+    hoist_load_above_store = true;
+    sink_load_below_store = true;
+    reorder_store_store = true;
+    allow_load_load_forward = false;
+    allow_store_load_forward = false;
+    allow_store_elim = false;
+    static_disambiguation = false;
+  }
+
+let smarq_no_store_reorder ~ar_count =
+  {
+    (smarq ~ar_count) with
+    name = Printf.sprintf "smarq%d-nostreorder" ar_count;
+    reorder_store_store = false;
+  }
+
+let alat () =
+  {
+    name = "alat";
+    scheme = Alat_scheme;
+    ar_count = 32;
+    hoist_load_above_store = true;
+    sink_load_below_store = false;
+    reorder_store_store = false;
+    allow_load_load_forward = true;
+    allow_store_load_forward = false;
+    allow_store_elim = false;
+    static_disambiguation = false;
+  }
+
+let efficeon () =
+  {
+    name = "efficeon";
+    scheme = Mask_scheme;
+    ar_count = 15;
+    hoist_load_above_store = true;
+    sink_load_below_store = true;
+    reorder_store_store = true;
+    allow_load_load_forward = true;
+    allow_store_load_forward = true;
+    allow_store_elim = true;
+    static_disambiguation = false;
+  }
+
+let none () =
+  {
+    name = "none";
+    scheme = No_scheme;
+    ar_count = 0;
+    hoist_load_above_store = false;
+    sink_load_below_store = false;
+    reorder_store_store = false;
+    allow_load_load_forward = false;
+    allow_store_load_forward = false;
+    allow_store_elim = false;
+    static_disambiguation = false;
+  }
+
+let none_with_analysis () =
+  { (none ()) with name = "none+static"; static_disambiguation = true }
+
+let speculates t =
+  t.hoist_load_above_store || t.sink_load_below_store
+  || t.reorder_store_store || t.allow_load_load_forward
+  || t.allow_store_load_forward || t.allow_store_elim
+
+let may_drop_edge t ~first ~second =
+  match Ir.Instr.is_store first, Ir.Instr.is_store second with
+  | true, true -> t.reorder_store_store
+  | true, false -> t.hoist_load_above_store  (* load hoisted above store *)
+  | false, true -> t.sink_load_below_store  (* store hoisted above load *)
+  | false, false -> false  (* load-load pairs carry no dependence *)

@@ -1,0 +1,32 @@
+let heights ~body ~hazards ~latency =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (i : Ir.Instr.t) -> Hashtbl.replace by_id i.id i) body;
+  let memo = Hashtbl.create 64 in
+  let rec height id =
+    match Hashtbl.find_opt memo id with
+    | Some h -> h
+    | None ->
+      (* mark to guard against accidental cycles (hard edges are acyclic
+         by construction; a cycle here is a bug worth failing loudly) *)
+      Hashtbl.replace memo id min_int;
+      let lat =
+        match Hashtbl.find_opt by_id id with
+        | Some i -> latency i
+        | None -> 1
+      in
+      let succ_best =
+        List.fold_left
+          (fun acc s ->
+            let h = height s in
+            if h = min_int then
+              invalid_arg "Priority.heights: cycle in hard precedence edges"
+            else max acc h)
+          0
+          (Hazards.succs hazards id)
+      in
+      let h = lat + succ_best in
+      Hashtbl.replace memo id h;
+      h
+  in
+  List.iter (fun (i : Ir.Instr.t) -> ignore (height i.id)) body;
+  memo

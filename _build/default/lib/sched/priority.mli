@@ -1,0 +1,13 @@
+(** List-scheduling priorities: critical-path height.
+
+    The height of an instruction is the longest latency-weighted path
+    from it to any sink through the hard precedence edges; the list
+    scheduler picks ready instructions of greatest height first, which
+    is the classic heuristic for in-order VLIW scheduling. *)
+
+val heights :
+  body:Ir.Instr.t list ->
+  hazards:Hazards.t ->
+  latency:(Ir.Instr.t -> int) ->
+  (int, int) Hashtbl.t
+(** Map from instruction id to critical-path height. *)

@@ -1,0 +1,85 @@
+type t = {
+  program_order : int;
+  p_bit_order : int;
+  smarq : int;
+  lower_bound : int;
+}
+
+let zero = { program_order = 0; p_bit_order = 0; smarq = 0; lower_bound = 0 }
+
+let add a b =
+  {
+    program_order = a.program_order + b.program_order;
+    p_bit_order = a.p_bit_order + b.p_bit_order;
+    smarq = a.smarq + b.smarq;
+    lower_bound = a.lower_bound + b.lower_bound;
+  }
+
+(* Live-range lower bound: sweep the issue sequence counting ranges
+   [issue(Y), last_checker_issue(Y)] that overlap each point. *)
+let live_range_peak ~issue_pos ~check_edges =
+  let last_use = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Analysis.Constraints.edge) ->
+      match e.kind with
+      | Analysis.Constraints.Check ->
+        let y = e.second and x = e.first in
+        (match issue_pos x, issue_pos y with
+        | Some px, Some py ->
+          let cur = Option.value (Hashtbl.find_opt last_use y) ~default:py in
+          Hashtbl.replace last_use y (max cur px)
+        | _ -> ())
+      | Analysis.Constraints.Anti -> ())
+    check_edges;
+  (* sweep: +1 at start, -1 after end *)
+  let events = ref [] in
+  Hashtbl.iter
+    (fun y last ->
+      match issue_pos y with
+      | Some start ->
+        events := (start, 1) :: (last + 1, -1) :: !events
+      | None -> ())
+    last_use;
+  let sorted =
+    List.sort
+      (fun (a, da) (b, db) ->
+        let c = Int.compare a b in
+        if c <> 0 then c else Int.compare da db)
+      !events
+  in
+  let peak = ref 0 and cur = ref 0 in
+  List.iter
+    (fun (_, d) ->
+      cur := !cur + d;
+      if !cur > !peak then peak := !cur)
+    sorted;
+  !peak
+
+let measure ~sb ~(outcome : List_sched.outcome) =
+  let program_order = List.length (Ir.Superblock.memory_ops sb) in
+  match outcome.List_sched.alloc_result with
+  | None ->
+    (* no integrated allocation (naive/mask/alat/none): the scheduler's
+       window stands in; the other columns do not apply *)
+    {
+      program_order;
+      p_bit_order = 0;
+      smarq = outcome.List_sched.stats.List_sched.ar_working_set;
+      lower_bound = 0;
+    }
+  | Some r ->
+    let p_bit_order =
+      Hashtbl.length r.Smarq_alloc.allocation.Analysis.Constraints.p_bit
+    in
+    let smarq = r.Smarq_alloc.max_offset + 1 in
+    (* issue positions from the region's bundles *)
+    let pos_tbl = Hashtbl.create 64 in
+    List.iteri
+      (fun idx (i : Ir.Instr.t) -> Hashtbl.replace pos_tbl i.id idx)
+      (Ir.Region.instrs outcome.List_sched.region);
+    let issue_pos id = Hashtbl.find_opt pos_tbl id in
+    let lower_bound =
+      live_range_peak ~issue_pos
+        ~check_edges:(r.Smarq_alloc.check_edges @ r.Smarq_alloc.anti_edges)
+    in
+    { program_order; p_bit_order; smarq; lower_bound }

@@ -1,0 +1,32 @@
+(** Alias-register working-set statistics (the paper's Figure 17).
+
+    Four numbers per scheduled superblock, each an alias-register count:
+
+    - [program_order]: one register per memory operation — the
+      straightforward order-based allocation the paper normalizes to;
+    - [p_bit_order]: one register per operation that actually sets a
+      register (has a P bit) — program-order allocation restricted to
+      protected operations;
+    - [smarq]: SMARQ's sliding window, [max offset + 1];
+    - [lower_bound]: the maximum number of simultaneously live
+      protected ranges across the issue sequence — for every
+      check-constraint [X ->check Y], Y's register is live from Y's
+      issue to the last such X's issue; no allocation can beat the
+      peak overlap. *)
+
+type t = {
+  program_order : int;
+  p_bit_order : int;
+  smarq : int;
+  lower_bound : int;
+}
+
+val measure :
+  sb:Ir.Superblock.t ->
+  outcome:List_sched.outcome ->
+  t
+(** Requires an outcome produced with the queue scheme (otherwise
+    [smarq]/[lower_bound] are 0). *)
+
+val zero : t
+val add : t -> t -> t

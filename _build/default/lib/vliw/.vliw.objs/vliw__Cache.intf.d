@@ -1,0 +1,1 @@
+lib/vliw/cache.mli:

@@ -1,0 +1,1 @@
+lib/vliw/config.mli: Cache Format Ir

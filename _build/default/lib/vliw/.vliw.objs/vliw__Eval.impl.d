@@ -1,0 +1,1 @@
+lib/vliw/eval.ml: Hw Ir Machine

@@ -1,0 +1,1 @@
+lib/vliw/eval.mli: Hw Ir Machine

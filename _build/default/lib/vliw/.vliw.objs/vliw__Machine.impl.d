@@ -1,0 +1,1 @@
+lib/vliw/machine.ml: Hashtbl Int Ir List Option Printf

@@ -1,0 +1,1 @@
+lib/vliw/machine.mli: Ir

@@ -1,0 +1,1 @@
+lib/vliw/region_exec.ml: Array Cache Config Eval Hw Ir List Machine Printf

@@ -1,0 +1,1 @@
+lib/vliw/region_exec.mli: Cache Config Hw Ir Machine

@@ -1,0 +1,45 @@
+(** A small set-associative cache hierarchy for the VLIW memory system.
+
+    The paper's simulator models a real memory hierarchy; our default
+    configuration uses a flat load latency instead (the relative claims
+    survive either way), but enabling the hierarchy lets experiments
+    check that the scheme ordering is not an artifact of perfect
+    memory: a miss adds stall cycles to the issuing region, which
+    shrinks the relative benefit of latency-hiding reorderings without
+    changing who wins.
+
+    Two levels with LRU replacement; stores allocate (write-allocate,
+    write-back is immaterial since timing is all we model). *)
+
+type level_config = {
+  size_bytes : int;
+  line_bytes : int;  (** power of two *)
+  ways : int;
+  hit_latency : int;  (** extra cycles beyond the pipeline's load slot *)
+}
+
+type config = {
+  l1 : level_config;
+  l2 : level_config;
+  memory_latency : int;
+}
+
+val default_config : config
+(** 16 KiB 4-way L1 (+0), 256 KiB 8-way L2 (+8), memory +40. *)
+
+type t
+
+type stats = {
+  mutable accesses : int;
+  mutable l1_misses : int;
+  mutable l2_misses : int;
+}
+
+val create : config -> t
+
+val access : t -> addr:int -> int
+(** Touch the line holding [addr]; returns the stall penalty in cycles
+    (0 on an L1 hit). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,95 @@
+type t = {
+  issue_width : int;
+  mem_ports : int;
+  alias_registers : int;
+  load_latency : int;
+  int_alu_latency : int;
+  mul_latency : int;
+  div_latency : int;
+  fp_latency : int;
+  fdiv_latency : int;
+  checkpoint_cycles : int;
+  rollback_cycles : int;
+  interp_cycles_per_instr : int;
+  optimize_cycles_per_instr : int;
+  schedule_cycles_per_instr : int;
+  cache : Cache.config option;
+}
+
+let default =
+  {
+    issue_width = 4;
+    mem_ports = 2;
+    alias_registers = 64;
+    load_latency = 3;
+    int_alu_latency = 1;
+    mul_latency = 3;
+    div_latency = 8;
+    fp_latency = 4;
+    fdiv_latency = 12;
+    checkpoint_cycles = 2;
+    rollback_cycles = 100;
+    interp_cycles_per_instr = 12;
+    optimize_cycles_per_instr = 400;
+    schedule_cycles_per_instr = 200;
+    cache = None;
+  }
+
+let with_cache t cache = { t with cache }
+
+let with_alias_registers t n = { t with alias_registers = n }
+
+let latency t (i : Ir.Instr.t) =
+  match i.op with
+  | Ir.Instr.Load _ -> t.load_latency
+  | Ir.Instr.Binop (Ir.Instr.Mul, _, _, _) -> t.mul_latency
+  | Ir.Instr.Binop (Ir.Instr.Div, _, _, _) -> t.div_latency
+  | Ir.Instr.Fbinop (Ir.Instr.Fdiv, _, _, _) -> t.fdiv_latency
+  | Ir.Instr.Fbinop ((Ir.Instr.Fadd | Ir.Instr.Fsub | Ir.Instr.Fmul), _, _, _)
+    ->
+    t.fp_latency
+  | Ir.Instr.Nop | Ir.Instr.Mov _ | Ir.Instr.Unop_neg _
+  | Ir.Instr.Binop
+      ( ( Ir.Instr.Add | Ir.Instr.Sub | Ir.Instr.And | Ir.Instr.Or
+        | Ir.Instr.Xor | Ir.Instr.Shl | Ir.Instr.Shr ),
+        _,
+        _,
+        _ )
+  | Ir.Instr.Cmp _ ->
+    t.int_alu_latency
+  | Ir.Instr.Store _ | Ir.Instr.Branch _ | Ir.Instr.Jump _ | Ir.Instr.Exit _
+  | Ir.Instr.Rotate _ | Ir.Instr.Amov _ ->
+    1
+
+let pp ppf t =
+  let row name value = Format.fprintf ppf "  %-28s %s@." name value in
+  Format.fprintf ppf "VLIW architecture parameters (cf. paper Table 2)@.";
+  row "issue width" (string_of_int t.issue_width);
+  row "memory ports" (string_of_int t.mem_ports);
+  row "alias registers" (string_of_int t.alias_registers);
+  row "load-to-use latency" (Printf.sprintf "%d cycles" t.load_latency);
+  row "integer ALU latency" (Printf.sprintf "%d cycle" t.int_alu_latency);
+  row "integer multiply latency" (Printf.sprintf "%d cycles" t.mul_latency);
+  row "integer divide latency" (Printf.sprintf "%d cycles" t.div_latency);
+  row "FP add/sub/mul latency" (Printf.sprintf "%d cycles" t.fp_latency);
+  row "FP divide latency" (Printf.sprintf "%d cycles" t.fdiv_latency);
+  row "region checkpoint cost" (Printf.sprintf "%d cycles" t.checkpoint_cycles);
+  row "alias-exception rollback" (Printf.sprintf "%d cycles" t.rollback_cycles);
+  row "interpreter cost"
+    (Printf.sprintf "%d cycles/guest instr" t.interp_cycles_per_instr);
+  row "optimizer cost"
+    (Printf.sprintf "%d cycles/IR instr" t.optimize_cycles_per_instr);
+  row "  of which scheduling"
+    (Printf.sprintf "%d cycles/IR instr" t.schedule_cycles_per_instr);
+  match t.cache with
+  | None -> row "memory hierarchy" "flat (load latency only)"
+  | Some c ->
+    row "L1 cache"
+      (Printf.sprintf "%d KiB %d-way, %dB lines"
+         (c.Cache.l1.Cache.size_bytes / 1024) c.Cache.l1.Cache.ways
+         c.Cache.l1.Cache.line_bytes);
+    row "L2 cache"
+      (Printf.sprintf "%d KiB %d-way, +%d cycles"
+         (c.Cache.l2.Cache.size_bytes / 1024) c.Cache.l2.Cache.ways
+         c.Cache.l2.Cache.hit_latency);
+    row "memory latency" (Printf.sprintf "+%d cycles" c.Cache.memory_latency)

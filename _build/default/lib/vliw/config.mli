@@ -1,0 +1,42 @@
+(** VLIW machine parameters (the paper's Table 2).
+
+    The paper evaluates an internal Intel VLIW modeled by a
+    cycle-accurate simulator with 64 alias registers and atomic-region
+    support.  These parameters control our timing model; the paper's
+    results are relative speedups, which survive any reasonable
+    instantiation. *)
+
+type t = {
+  issue_width : int;  (** instructions issued per cycle *)
+  mem_ports : int;  (** memory operations issued per cycle *)
+  alias_registers : int;  (** alias register queue size *)
+  load_latency : int;
+  int_alu_latency : int;
+  mul_latency : int;
+  div_latency : int;
+  fp_latency : int;
+  fdiv_latency : int;
+  checkpoint_cycles : int;  (** atomic-region entry cost *)
+  rollback_cycles : int;  (** alias-exception rollback penalty *)
+  interp_cycles_per_instr : int;  (** interpretation cost of cold code *)
+  optimize_cycles_per_instr : int;
+      (** dynamic-optimizer cost charged per IR instruction processed *)
+  schedule_cycles_per_instr : int;
+      (** portion of the optimizer cost spent in scheduling/allocation *)
+  cache : Cache.config option;
+      (** [None] = flat load latency (the calibrated default); [Some]
+          adds per-access miss stalls from the hierarchy *)
+}
+
+val with_cache : t -> Cache.config option -> t
+
+val default : t
+(** 4-wide, 2 memory ports, 64 alias registers — the paper's machine. *)
+
+val with_alias_registers : t -> int -> t
+
+val latency : t -> Ir.Instr.t -> int
+(** Instruction latency under this configuration. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the Table 2-style parameter listing. *)

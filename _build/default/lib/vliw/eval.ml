@@ -1,0 +1,72 @@
+module I = Ir.Instr
+
+type control =
+  | Fall_through
+  | Goto of Ir.Instr.label
+  | Leave_region of Ir.Instr.label
+
+let operand_value m = function
+  | I.Reg r -> Machine.get_reg m r
+  | I.Imm n -> n
+
+let addr_of m (a : I.addr) = Machine.get_reg m a.base + a.disp
+
+let access_of m (i : I.t) =
+  match i.op with
+  | I.Load { addr; width; _ } | I.Store { addr; width; _ } ->
+    Some (Hw.Access.make ~addr:(addr_of m addr) ~width)
+  | _ -> None
+
+let safe_div a b = if b = 0 then 0 else a / b
+
+let binop_fn = function
+  | I.Add -> ( + )
+  | I.Sub -> ( - )
+  | I.Mul -> ( * )
+  | I.Div -> safe_div
+  | I.And -> ( land )
+  | I.Or -> ( lor )
+  | I.Xor -> ( lxor )
+  | I.Shl -> fun a b -> a lsl (b land 31)
+  | I.Shr -> fun a b -> a asr (b land 31)
+
+let fbinop_fn = function
+  | I.Fadd -> ( + )
+  | I.Fsub -> ( - )
+  | I.Fmul -> ( * )
+  | I.Fdiv -> safe_div
+
+let cmp_fn = function
+  | I.Eq -> ( = )
+  | I.Ne -> ( <> )
+  | I.Lt -> ( < )
+  | I.Le -> ( <= )
+  | I.Gt -> ( > )
+  | I.Ge -> ( >= )
+
+let exec_data m (i : I.t) =
+  match i.op with
+  | I.Nop | I.Branch _ | I.Jump _ | I.Exit _ | I.Rotate _ | I.Amov _ -> ()
+  | I.Mov (d, s) -> Machine.set_reg m d (operand_value m s)
+  | I.Unop_neg (d, s) -> Machine.set_reg m d (-operand_value m s)
+  | I.Binop (op, d, a, b) ->
+    Machine.set_reg m d (binop_fn op (operand_value m a) (operand_value m b))
+  | I.Fbinop (op, d, a, b) ->
+    Machine.set_reg m d (fbinop_fn op (operand_value m a) (operand_value m b))
+  | I.Cmp (c, d, a, b) ->
+    Machine.set_reg m d
+      (if cmp_fn c (operand_value m a) (operand_value m b) then 1 else 0)
+  | I.Load { dst; addr; width; _ } ->
+    Machine.set_reg m dst (Machine.load m ~addr:(addr_of m addr) ~width)
+  | I.Store { src; addr; width; _ } ->
+    Machine.store m ~addr:(addr_of m addr) ~width (operand_value m src)
+
+let exec_control m (i : I.t) =
+  match i.op with
+  | I.Branch { cond; target } ->
+    if operand_value m cond <> 0 then Leave_region target else Fall_through
+  | I.Jump l -> Goto l
+  | I.Exit l -> Leave_region l
+  | I.Nop | I.Mov _ | I.Unop_neg _ | I.Binop _ | I.Fbinop _ | I.Cmp _
+  | I.Load _ | I.Store _ | I.Rotate _ | I.Amov _ ->
+    Fall_through

@@ -1,0 +1,136 @@
+type journal_entry =
+  | Mem_byte of int * int option  (* address, previous byte (None = unset) *)
+  | Reg of Ir.Reg.t * int option
+
+type t = {
+  regs : (Ir.Reg.t, int) Hashtbl.t;
+  mem : (int, int) Hashtbl.t;  (* byte address -> byte value *)
+  mutable journal : journal_entry list option;  (* Some = region active *)
+}
+
+let create () =
+  { regs = Hashtbl.create 64; mem = Hashtbl.create 1024; journal = None }
+
+let copy t =
+  {
+    regs = Hashtbl.copy t.regs;
+    mem = Hashtbl.copy t.mem;
+    journal = None;
+  }
+
+let get_reg t r = Option.value (Hashtbl.find_opt t.regs r) ~default:0
+
+let set_reg t r v =
+  (match t.journal with
+  | Some entries ->
+    t.journal <- Some (Reg (r, Hashtbl.find_opt t.regs r) :: entries)
+  | None -> ());
+  Hashtbl.replace t.regs r v
+
+let check_width width =
+  if width <= 0 || width > 8 then
+    invalid_arg (Printf.sprintf "Machine: unsupported access width %d" width)
+
+let get_byte t addr = Option.value (Hashtbl.find_opt t.mem addr) ~default:0
+
+let set_byte t addr b =
+  (match t.journal with
+  | Some entries ->
+    t.journal <- Some (Mem_byte (addr, Hashtbl.find_opt t.mem addr) :: entries)
+  | None -> ());
+  Hashtbl.replace t.mem addr (b land 0xff)
+
+let load t ~addr ~width =
+  check_width width;
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((acc lsl 8) lor get_byte t (addr + i))
+  in
+  go (width - 1) 0
+
+let store t ~addr ~width v =
+  check_width width;
+  for i = 0 to width - 1 do
+    set_byte t (addr + i) ((v lsr (8 * i)) land 0xff)
+  done
+
+let checkpoint t =
+  match t.journal with
+  | Some _ -> invalid_arg "Machine.checkpoint: region already active"
+  | None -> t.journal <- Some []
+
+let commit t =
+  match t.journal with
+  | None -> invalid_arg "Machine.commit: no active region"
+  | Some _ -> t.journal <- None
+
+let rollback t =
+  match t.journal with
+  | None -> invalid_arg "Machine.rollback: no active region"
+  | Some entries ->
+    t.journal <- None;
+    let undo = function
+      | Mem_byte (addr, Some b) -> Hashtbl.replace t.mem addr b
+      | Mem_byte (addr, None) -> Hashtbl.remove t.mem addr
+      | Reg (r, Some v) -> Hashtbl.replace t.regs r v
+      | Reg (r, None) -> Hashtbl.remove t.regs r
+    in
+    List.iter undo entries
+
+let in_region t = Option.is_some t.journal
+
+let guest_regs t =
+  Hashtbl.fold
+    (fun r v acc -> if Ir.Reg.is_temp r then acc else (r, v) :: acc)
+    t.regs []
+  |> List.filter (fun (_, v) -> v <> 0)
+  |> List.sort (fun (a, _) (b, _) -> Ir.Reg.compare a b)
+
+let mem_bytes t =
+  Hashtbl.fold (fun a b acc -> if b <> 0 then (a, b) :: acc else acc) t.mem []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let equal_guest_state a b = guest_regs a = guest_regs b && mem_bytes a = mem_bytes b
+
+let diff_guest_state a b =
+  let diffs = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> diffs := s :: !diffs) fmt in
+  let regs_a = guest_regs a and regs_b = guest_regs b in
+  if regs_a <> regs_b then begin
+    let tbl = Hashtbl.create 32 in
+    List.iter (fun (r, v) -> Hashtbl.replace tbl r (Some v, None)) regs_a;
+    List.iter
+      (fun (r, v) ->
+        match Hashtbl.find_opt tbl r with
+        | Some (x, _) -> Hashtbl.replace tbl r (x, Some v)
+        | None -> Hashtbl.replace tbl r (None, Some v))
+      regs_b;
+    Hashtbl.iter
+      (fun r (x, y) ->
+        if x <> y then
+          note "reg %s: %s vs %s" (Ir.Reg.to_string r)
+            (match x with Some v -> string_of_int v | None -> "0")
+            (match y with Some v -> string_of_int v | None -> "0"))
+      tbl
+  end;
+  let mem_a = mem_bytes a and mem_b = mem_bytes b in
+  if mem_a <> mem_b then begin
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (ad, v) -> Hashtbl.replace tbl ad (Some v, None)) mem_a;
+    List.iter
+      (fun (ad, v) ->
+        match Hashtbl.find_opt tbl ad with
+        | Some (x, _) -> Hashtbl.replace tbl ad (x, Some v)
+        | None -> Hashtbl.replace tbl ad (None, Some v))
+      mem_b;
+    Hashtbl.iter
+      (fun ad (x, y) ->
+        if x <> y then
+          note "mem[%d]: %s vs %s" ad
+            (match x with Some v -> string_of_int v | None -> "0")
+            (match y with Some v -> string_of_int v | None -> "0"))
+      tbl
+  end;
+  List.rev !diffs
+
+let touched_addresses t =
+  Hashtbl.fold (fun a _ acc -> a :: acc) t.mem [] |> List.sort Int.compare

@@ -1,0 +1,49 @@
+(** Architectural state: register file and byte-addressed sparse memory,
+    with checkpoint/rollback support for atomic-region execution.
+
+    Values are plain OCaml integers; loads and stores move [width]
+    little-endian bytes so overlapping accesses of different widths
+    interact exactly as alias detection expects.  Checkpoints snapshot
+    the register file and journal memory writes, so rollback cost is
+    proportional to region footprint, not memory size. *)
+
+type t
+
+val create : unit -> t
+
+val copy : t -> t
+(** Deep copy (registers and memory) — used to run a reference
+    interpreter beside the optimized execution in equivalence tests. *)
+
+val get_reg : t -> Ir.Reg.t -> int
+(** Unwritten registers read 0. *)
+
+val set_reg : t -> Ir.Reg.t -> int -> unit
+
+val load : t -> addr:int -> width:int -> int
+(** Little-endian; unwritten bytes read 0.  Raises [Invalid_argument]
+    for non-positive width or widths above 8. *)
+
+val store : t -> addr:int -> width:int -> int -> unit
+
+val checkpoint : t -> unit
+(** Begin journaling.  Raises [Invalid_argument] if a checkpoint is
+    already active (regions do not nest). *)
+
+val commit : t -> unit
+(** Discard the active checkpoint, keeping all effects. *)
+
+val rollback : t -> unit
+(** Restore state to the active checkpoint. *)
+
+val in_region : t -> bool
+
+val equal_guest_state : t -> t -> bool
+(** Registers (guest-visible only) and memory agree.  Optimizer
+    temporaries are excluded — they are dead outside regions. *)
+
+val diff_guest_state : t -> t -> string list
+(** Human-readable discrepancies, for test failure messages. *)
+
+val touched_addresses : t -> int list
+(** Every byte address ever written (sorted), for state comparison. *)

@@ -1,0 +1,86 @@
+module I = Ir.Instr
+
+type outcome =
+  | Committed of Ir.Instr.label option
+  | Alias_fault of Hw.Detector.violation
+
+type result = {
+  outcome : outcome;
+  cycles : int;
+  alias_checks : int;
+}
+
+exception Fault of Hw.Detector.violation
+exception Exit_taken of Ir.Instr.label
+
+let exec_instr ~detector ~machine ~cache ~stalls (i : I.t) =
+  match i.op with
+  | I.Rotate n -> detector.Hw.Detector.on_rotate n
+  | I.Amov { src_offset; dst_offset } ->
+    detector.Hw.Detector.on_amov ~src:src_offset ~dst:dst_offset
+  | I.Branch _ | I.Exit _ ->
+    (match Eval.exec_control machine i with
+    | Eval.Leave_region l -> raise (Exit_taken l)
+    | Eval.Fall_through -> ()
+    | Eval.Goto _ -> assert false)
+  | I.Jump _ ->
+    (* regions are straight-line; jumps do not appear *)
+    invalid_arg "Region_exec: jump inside region"
+  | _ ->
+    (match Eval.access_of machine i with
+    | Some range ->
+      (match cache with
+      | Some c ->
+        stalls := !stalls + Cache.access c ~addr:range.Hw.Access.lo
+      | None -> ());
+      (match detector.Hw.Detector.on_mem i range with
+      | Ok () -> ()
+      | Error v -> raise (Fault v))
+    | None -> ());
+    Eval.exec_data machine i
+
+let run ~config ~detector ~machine ?cache (region : Ir.Region.t) =
+  if region.ar_window > config.Config.alias_registers then
+    invalid_arg
+      (Printf.sprintf
+         "Region_exec: region needs %d alias registers, machine has %d"
+         region.ar_window config.Config.alias_registers);
+  let checks_before = detector.Hw.Detector.checks_performed () in
+  detector.Hw.Detector.reset ();
+  Machine.checkpoint machine;
+  let bundles = region.bundles in
+  let n = Array.length bundles in
+  let finish outcome ~cycles =
+    {
+      outcome;
+      cycles;
+      alias_checks = detector.Hw.Detector.checks_performed () - checks_before;
+    }
+  in
+  let executed = ref 0 in
+  let stalls = ref 0 in
+  let rec go cycle =
+    if cycle >= n then begin
+      Machine.commit machine;
+      finish
+        (Committed region.final_exit)
+        ~cycles:(config.Config.checkpoint_cycles + n + !stalls)
+    end
+    else begin
+      executed := cycle + 1;
+      List.iter (exec_instr ~detector ~machine ~cache ~stalls) bundles.(cycle);
+      go (cycle + 1)
+    end
+  in
+  try go 0 with
+  | Fault v ->
+    Machine.rollback machine;
+    finish (Alias_fault v)
+      ~cycles:
+        (config.Config.checkpoint_cycles + !executed + !stalls
+        + config.Config.rollback_cycles)
+  | Exit_taken l ->
+    Machine.commit machine;
+    finish
+      (Committed (Some l))
+      ~cycles:(config.Config.checkpoint_cycles + !executed + !stalls)

@@ -1,0 +1,1 @@
+lib/workload/builder.ml: Ir List Printf

@@ -1,0 +1,1 @@
+lib/workload/genprog.ml: Array Builder Ir Kernels List Printf

@@ -1,0 +1,1 @@
+lib/workload/kernels.ml: Builder Ir List

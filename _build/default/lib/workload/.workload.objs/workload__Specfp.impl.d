@@ -1,0 +1,1 @@
+lib/workload/specfp.ml: Builder Ir Kernels List Printf String

@@ -1,0 +1,1 @@
+lib/workload/specfp.mli: Ir

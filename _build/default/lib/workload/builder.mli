@@ -1,0 +1,43 @@
+(** A small DSL for constructing guest programs: allocates instruction
+    ids and labels, accumulates blocks, and assembles a validated
+    {!Ir.Program.t}. *)
+
+type t
+
+val create : unit -> t
+
+val label : t -> string -> Ir.Instr.label
+(** [label b stem] returns a fresh label ["stem_N"]. *)
+
+val instr : t -> Ir.Instr.op -> Ir.Instr.t
+(** Wrap an op with a fresh id. *)
+
+val instrs : t -> Ir.Instr.op list -> Ir.Instr.t list
+
+val add_block :
+  t -> Ir.Instr.label -> Ir.Instr.t list -> Ir.Block.terminator -> unit
+
+val straight :
+  t -> Ir.Instr.label -> Ir.Instr.t list -> next:Ir.Instr.label -> unit
+(** Block falling through to [next]. *)
+
+val loop_back :
+  t ->
+  Ir.Instr.label ->
+  Ir.Instr.t list ->
+  counter:Ir.Reg.t ->
+  back_to:Ir.Instr.label ->
+  exit_to:Ir.Instr.label ->
+  iters:int ->
+  unit
+(** Append a counter decrement and a biased conditional terminator:
+    branch back while the counter is positive (probability
+    [(iters-1)/iters]). *)
+
+val program : t -> entry:Ir.Instr.label -> Ir.Program.t
+
+(* Operand shorthands. *)
+val r : int -> Ir.Instr.operand
+val f : int -> Ir.Instr.operand
+val i : int -> Ir.Instr.operand
+val addr : Ir.Reg.t -> int -> Ir.Instr.addr

@@ -1,0 +1,166 @@
+module I = Ir.Instr
+
+type params = {
+  n_instrs : int;
+  mem_fraction : float;
+  store_fraction : float;
+  n_bases : int;
+  collide_fraction : float;
+  side_exit_every : int option;
+}
+
+let default_params =
+  {
+    n_instrs = 40;
+    mem_fraction = 0.45;
+    store_fraction = 0.4;
+    n_bases = 4;
+    collide_fraction = 0.15;
+    side_exit_every = None;
+  }
+
+let base_reg k = Ir.Reg.R (10 + k)
+let base_addr k = 0x10000 * (k + 1)
+
+(* A tiny deterministic PRNG (xorshift) so tests never depend on the
+   global Random state. *)
+type rng = { mutable s : int }
+
+let rng_create seed = { s = (seed lxor 0x9e3779b9) lor 1 }
+
+let rng_int r bound =
+  let x = r.s in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  r.s <- x land max_int;
+  r.s mod bound
+
+let rng_float r = float_of_int (rng_int r 1_000_000) /. 1_000_000.0
+
+let superblock ~seed ~params =
+  let rng = rng_create seed in
+  let next_id = ref 1 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let body = ref [] in
+  let emit op = body := I.make ~id:(fresh ()) op :: !body in
+  (* recently used (base index, disp) pairs, to produce collisions *)
+  let recent = ref [] in
+  let pick_addr () =
+    if !recent <> [] && rng_float rng < params.collide_fraction then
+      List.nth !recent (rng_int rng (List.length !recent))
+    else begin
+      let k = rng_int rng params.n_bases in
+      let disp = rng_int rng 16 * 8 in
+      let a = (k, disp) in
+      recent := a :: (if List.length !recent > 8 then List.filteri (fun i _ -> i < 8) !recent else !recent);
+      a
+    end
+  in
+  let data_regs = Array.init 8 (fun i -> Ir.Reg.F i) in
+  let any_data () = data_regs.(rng_int rng 8) in
+  for step = 0 to params.n_instrs - 1 do
+    (match params.side_exit_every with
+    | Some n when step > 0 && step mod n = 0 ->
+      (* side exit guarded by a temp that is always 0 at runtime so
+         traces run the whole block; liveness still constrains code
+         motion around it *)
+      let t = Ir.Reg.T (fresh ()) in
+      emit (I.Cmp (I.Lt, t, I.Reg (base_reg 0), I.Imm 1));
+      emit (I.Branch { cond = I.Reg t; target = "exit_side" })
+    | Some _ | None -> ());
+    if rng_float rng < params.mem_fraction then begin
+      let k, disp = pick_addr () in
+      if rng_float rng < params.store_fraction then
+        emit
+          (I.Store
+             {
+               src = I.Reg (any_data ());
+               addr = { I.base = base_reg k; disp };
+               width = 8;
+               annot = Ir.Annot.none;
+             })
+      else
+        emit
+          (I.Load
+             {
+               dst = any_data ();
+               addr = { I.base = base_reg k; disp };
+               width = 8;
+               annot = Ir.Annot.none;
+             })
+    end
+    else
+      match rng_int rng 3 with
+      | 0 ->
+        emit (I.Fbinop (I.Fadd, any_data (), I.Reg (any_data ()),
+                        I.Reg (any_data ())))
+      | 1 ->
+        emit (I.Fbinop (I.Fmul, any_data (), I.Reg (any_data ()),
+                        I.Imm (1 + rng_int rng 7)))
+      | _ ->
+        emit (I.Binop (I.Add, any_data (), I.Reg (any_data ()),
+                       I.Imm (rng_int rng 100)))
+  done;
+  let sb =
+    Ir.Superblock.make ~entry:"sb_entry" ~body:(List.rev !body)
+      ~final_exit:None ~source_blocks:[ "sb_entry" ] ()
+  in
+  (sb, base_addr)
+
+let setup_machine_regs ~params ~bases =
+  List.init params.n_bases (fun k -> (base_reg k, bases k))
+
+let program ~seed ~n_loops ~iters =
+  let rng = rng_create seed in
+  let bld = Builder.create () in
+  let regs = Kernels.{ a = Ir.Reg.R 1; b = Ir.Reg.R 2; c = Ir.Reg.R 3;
+                       idx = Ir.Reg.R 4 }
+  in
+  let init =
+    Builder.instrs bld
+      [
+        I.Mov (regs.Kernels.a, I.Imm 0x100000);
+        I.Mov (regs.Kernels.b, I.Imm 0x200000);
+        I.Mov (regs.Kernels.c, I.Imm 0x300000);
+      ]
+  in
+  let loop_labels = List.init n_loops (fun k -> Printf.sprintf "loop%d" k) in
+  let done_label = "prog_done" in
+  Builder.straight bld "prog_init"
+    (init @ Builder.instrs bld [ I.Mov (regs.Kernels.idx, I.Imm iters) ])
+    ~next:(List.hd loop_labels);
+  List.iteri
+    (fun k lbl ->
+      let pick () =
+        match rng_int rng 4 with
+        | 0 -> Kernels.stream bld regs ~disp0:(rng_int rng 8 * 32) ~width:8
+                 ~lanes:(1 + rng_int rng 3) ~depth:(1 + rng_int rng 4) ()
+        | 1 -> Kernels.stencil bld regs ~disp0:(rng_int rng 8 * 32) ~width:8
+                 ~taps:(2 + rng_int rng 5) ()
+        | 2 -> Kernels.reduction bld regs ~disp0:(rng_int rng 8 * 32) ~width:8
+                 ~terms:(1 + rng_int rng 3) ~acc:(Ir.Reg.F (16 + k land 7)) ()
+        | _ -> Kernels.store_burst bld regs ~disp0:(rng_int rng 8 * 32) ~width:8
+                 ~slow_chain:(2 + rng_int rng 6) ~stores:(1 + rng_int rng 4) ()
+      in
+      let body = pick () @ pick () in
+      (* each loop after the first re-arms the counter in a preheader,
+         and its predecessor exits into that preheader *)
+      let next_label =
+        if k = n_loops - 1 then done_label
+        else List.nth loop_labels (k + 1) ^ "_pre"
+      in
+      if k > 0 then
+        Builder.straight bld (lbl ^ "_pre")
+          (Builder.instrs bld [ I.Mov (regs.Kernels.idx, I.Imm iters) ])
+          ~next:lbl;
+      Builder.loop_back bld lbl
+        (body @ Kernels.bump_bases bld regs ~stride:64)
+        ~counter:regs.Kernels.idx ~back_to:lbl ~exit_to:next_label ~iters)
+    loop_labels;
+  Builder.add_block bld done_label [] Ir.Block.Halt;
+  Builder.program bld ~entry:"prog_init"

@@ -1,0 +1,39 @@
+(** Seeded random program generation for property-based tests.
+
+    Two granularities:
+    - {!superblock}: a random straight-line superblock with a
+      controlled mix of loads, stores, ALU/FP chains and optional side
+      exits; memory addressing is biased so some pairs are
+      compiler-disambiguable, some are may-alias-but-disjoint, and some
+      truly collide.
+    - {!program}: a whole guest CFG with a hot loop, so the full
+      dynamic optimization system can be tested end-to-end against the
+      reference interpreter.
+
+    Generators are deterministic in their seed. *)
+
+type params = {
+  n_instrs : int;  (** superblock body length target *)
+  mem_fraction : float;  (** fraction of memory operations *)
+  store_fraction : float;  (** stores among memory operations *)
+  n_bases : int;  (** distinct base registers in play *)
+  collide_fraction : float;
+      (** probability a memory op reuses a recently used address
+          (producing genuine runtime aliases) *)
+  side_exit_every : int option;  (** insert a side exit every n ops *)
+}
+
+val default_params : params
+
+val superblock : seed:int -> params:params -> Ir.Superblock.t * (int -> int)
+(** Returns the superblock and the initial value of every base
+    register (a function from base index to address), so callers can
+    set up a machine to execute it.  Base register k is [R (10 + k)];
+    the returned function seeds [R (10 + k)]. *)
+
+val setup_machine_regs : params:params -> bases:(int -> int) -> (Ir.Reg.t * int) list
+(** Register/value pairs to install before executing the superblock. *)
+
+val program : seed:int -> n_loops:int -> iters:int -> Ir.Program.t
+(** A guest program with [n_loops] sequential hot loops of random
+    bodies, each running [iters] iterations. *)

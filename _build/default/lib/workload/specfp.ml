@@ -1,0 +1,292 @@
+module I = Ir.Instr
+
+type bench = {
+  name : string;
+  default_iters : int;
+  make : iters:int -> Ir.Program.t;
+  description : string;
+}
+
+let program ?(scale = 1) b = b.make ~iters:(b.default_iters * scale)
+
+(* Region layout: three arrays a megabyte apart; strides keep a whole
+   run inside its region. *)
+let region_a = 0x100000
+let region_b = 0x200000
+let region_c = 0x300000
+
+let std_regs =
+  Kernels.{ a = Ir.Reg.R 1; b = Ir.Reg.R 2; c = Ir.Reg.R 3; idx = Ir.Reg.R 4 }
+
+(* Seed region C with node offsets so pointer chases walk a real
+   cycle. *)
+let seed_chain bld (regs : Kernels.regs) =
+  List.concat_map
+    (fun k ->
+      Builder.instrs bld
+        [
+          I.Mov (Ir.Reg.R 20, I.Imm ((k * 40) land 0xf8));
+          I.Store
+            {
+              src = I.Reg (Ir.Reg.R 20);
+              addr = Builder.addr regs.Kernels.c (k * 8);
+              width = 8;
+              annot = Ir.Annot.none;
+            };
+        ])
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let make_loop_bench ~name ~description ~iters ~stride ?(seed = false)
+    ?(filler_chains = 4) ?(filler_depth = 5) ~body_blocks () =
+  let make ~iters =
+    let bld = Builder.create () in
+    let regs = std_regs in
+    let n = List.length body_blocks in
+    let body_labels =
+      List.init n (fun k -> Printf.sprintf "%s_body%d" name k)
+    in
+    let init_label = name ^ "_init" and done_label = name ^ "_done" in
+    let init_body =
+      Builder.instrs bld
+        [
+          I.Mov (regs.Kernels.a, I.Imm region_a);
+          I.Mov (regs.Kernels.b, I.Imm region_b);
+          I.Mov (regs.Kernels.c, I.Imm region_c);
+          I.Mov (regs.Kernels.idx, I.Imm iters);
+        ]
+      @ (if seed then seed_chain bld regs else [])
+    in
+    Builder.straight bld init_label init_body ~next:(List.hd body_labels);
+    List.iteri
+      (fun k gen ->
+        let lbl = List.nth body_labels k in
+        let body =
+          gen bld regs k
+          @ Kernels.filler bld regs ~chains:filler_chains ~depth:filler_depth
+        in
+        if k < n - 1 then
+          Builder.straight bld lbl body ~next:(List.nth body_labels (k + 1))
+        else
+          Builder.loop_back bld lbl
+            (body @ Kernels.bump_bases bld regs ~stride)
+            ~counter:regs.Kernels.idx ~back_to:(List.hd body_labels)
+            ~exit_to:done_label ~iters)
+      body_blocks;
+    Builder.add_block bld done_label [] Ir.Block.Halt;
+    Builder.program bld ~entry:init_label
+  in
+  { name; default_iters = iters; make; description }
+
+let w = 8 (* FP element width in bytes *)
+
+let wupwise =
+  make_loop_bench ~name:"wupwise"
+    ~description:"streaming SU(3) products: balanced load/FP mix"
+    ~iters:700 ~stride:512
+    ~body_blocks:
+      [
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 64) ~width:w ~lanes:3 ~depth:3 ());
+        (fun bld regs k ->
+          Kernels.reduction bld regs ~disp0:(k * 64) ~width:w ~terms:2
+            ~acc:(Ir.Reg.F 5) ());
+        (fun bld regs k ->
+          Kernels.rmw bld regs ~disp0:(256 + (k * 16)) ~chain:3 ~width:w
+            ~updates:3 ());
+        (fun bld regs k ->
+          Kernels.reread bld regs ~disp0:(448 + (k * 32)) ~width:w ~pairs:2 ());
+      ]
+    ()
+
+let swim =
+  make_loop_bench ~name:"swim"
+    ~description:"shallow-water stencils: load-heavy, long FP chains"
+    ~iters:700 ~stride:512
+    ~body_blocks:
+      [
+        (fun bld regs k ->
+          Kernels.stencil bld regs ~disp0:(k * 64) ~width:w ~taps:6 ());
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 64) ~width:w ~lanes:2 ~depth:5 ());
+        (fun bld regs k ->
+          Kernels.stencil bld regs ~disp0:(k * 64) ~width:w ~taps:5 ());
+        (fun bld regs k ->
+          Kernels.rmw bld regs ~disp0:(320 + (k * 16)) ~chain:3 ~width:w
+            ~updates:2 ());
+        (fun bld regs k ->
+          Kernels.stencil bld regs ~disp0:(k * 64) ~width:w ~taps:4 ());
+      ]
+    ()
+
+let mgrid =
+  make_loop_bench ~name:"mgrid"
+    ~description:"multigrid relaxation: wide stencils, few stores"
+    ~iters:700 ~stride:512
+    ~body_blocks:
+      [
+        (fun bld regs k ->
+          Kernels.stencil bld regs ~disp0:(k * 80) ~width:w ~taps:8 ());
+        (fun bld regs k ->
+          Kernels.stencil bld regs ~disp0:(k * 80) ~width:w ~taps:7 ());
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 80) ~width:w ~lanes:2 ~depth:3 ());
+        (fun bld regs k ->
+          Kernels.stencil bld regs ~disp0:(k * 80) ~width:w ~taps:6 ());
+      ]
+    ()
+
+let applu =
+  make_loop_bench ~name:"applu"
+    ~description:"SSOR sweeps: stream/reduction blend"
+    ~iters:700 ~stride:512
+    ~body_blocks:
+      [
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 48) ~width:w ~lanes:2 ~depth:3 ());
+        (fun bld regs k ->
+          Kernels.reduction bld regs ~disp0:(k * 48) ~width:w ~terms:3
+            ~acc:(Ir.Reg.F 6) ());
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 48) ~width:w ~lanes:3 ~depth:2 ());
+        (fun bld regs k ->
+          Kernels.rmw bld regs ~disp0:(288 + (k * 16)) ~chain:3 ~width:w
+            ~updates:3 ());
+        (fun bld regs k ->
+          Kernels.reread bld regs ~disp0:(400 + (k * 24)) ~width:w ~pairs:2 ());
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 48) ~width:w ~lanes:2 ~depth:4 ());
+      ]
+    ()
+
+let mesa =
+  make_loop_bench ~name:"mesa" ~filler_chains:2 ~filler_depth:3
+    ~description:"rasterization-style store bursts behind slow data: \
+                  store reordering is decisive (Figure 16)"
+    ~iters:700 ~stride:512
+    ~body_blocks:
+      [
+        (fun bld regs k ->
+          Kernels.store_burst bld regs ~disp0:(k * 64) ~lane:0 ~width:w
+            ~slow_chain:3 ~stores:4 ());
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(640 + (k * 32)) ~width:w ~lanes:2
+            ~depth:3 ());
+        (fun bld regs k ->
+          Kernels.store_burst bld regs ~disp0:(256 + (k * 64)) ~lane:1 ~width:w
+            ~slow_chain:3 ~stores:4 ());
+        (fun bld regs k ->
+          Kernels.rmw bld regs ~disp0:(384 + (k * 16)) ~chain:2 ~width:w
+            ~updates:2 ());
+      ]
+    ()
+
+let art =
+  make_loop_bench ~name:"art"
+    ~description:"neural-net simulation: pointer chasing with occasional \
+                  genuine aliases"
+    ~iters:700 ~stride:512 ~seed:true
+    ~body_blocks:
+      [
+        (fun bld regs _ -> Kernels.pointer_chase bld regs ~width:w ~hops:4);
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(64 + (k * 32)) ~width:w ~lanes:2
+            ~depth:2 ());
+        (fun bld regs _ ->
+          Kernels.alias_probe bld regs ~width:w ~period_log2:7 ~store:false ());
+        (fun bld regs k ->
+          Kernels.reduction bld regs ~disp0:(k * 32) ~width:w ~terms:2
+            ~acc:(Ir.Reg.F 9) ());
+      ]
+    ()
+
+let equake =
+  make_loop_bench ~name:"equake"
+    ~description:"sparse earthquake kernel: scatter stores that \
+                  occasionally collide"
+    ~iters:700 ~stride:512 ~seed:true
+    ~body_blocks:
+      [
+        (fun bld regs _ -> Kernels.pointer_chase bld regs ~width:w ~hops:3);
+        (fun bld regs _ ->
+          Kernels.alias_probe bld regs ~width:w ~period_log2:8 ~store:true ());
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(128 + (k * 32)) ~width:w ~lanes:2
+            ~depth:3 ());
+        (fun bld regs k ->
+          Kernels.stencil bld regs ~disp0:(k * 32) ~width:w ~taps:4 ());
+      ]
+    ()
+
+let ammp =
+  make_loop_bench ~name:"ammp" ~filler_chains:2 ~filler_depth:3
+    ~description:"molecular dynamics: very large superblocks, many distinct \
+                  memory operations (drives the 16-vs-64 register gap); rare \
+                  store-store collisions"
+    ~iters:700 ~stride:1024
+    ~body_blocks:
+      [
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 96) ~width:w ~lanes:3 ~depth:2 ());
+        (fun bld regs k ->
+          Kernels.reduction bld regs ~disp0:(k * 96) ~width:w ~terms:3
+            ~acc:(Ir.Reg.F 10) ());
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 96) ~width:w ~lanes:3 ~depth:2 ());
+        (fun bld regs k ->
+          Kernels.stencil bld regs ~disp0:(k * 96) ~width:w ~taps:6 ());
+        (fun bld regs _ ->
+          Kernels.alias_probe bld regs ~width:w ~period_log2:9 ~store:true ());
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 96) ~width:w ~lanes:3 ~depth:2 ());
+        (fun bld regs k ->
+          Kernels.reread bld regs ~disp0:(768 + (k * 32)) ~width:w ~pairs:3 ());
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 96) ~width:w ~lanes:2 ~depth:3 ());
+      ]
+    ()
+
+let apsi =
+  make_loop_bench ~name:"apsi"
+    ~description:"pollutant transport: mixed stencil/stream"
+    ~iters:700 ~stride:512
+    ~body_blocks:
+      [
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 56) ~width:w ~lanes:2 ~depth:3 ());
+        (fun bld regs k ->
+          Kernels.stencil bld regs ~disp0:(k * 56) ~width:w ~taps:5 ());
+        (fun bld regs k ->
+          Kernels.rmw bld regs ~disp0:(320 + (k * 16)) ~chain:3 ~width:w
+            ~updates:3 ());
+        (fun bld regs k ->
+          Kernels.reread bld regs ~disp0:(448 + (k * 24)) ~width:w ~pairs:2 ());
+        (fun bld regs k ->
+          Kernels.reduction bld regs ~disp0:(k * 56) ~width:w ~terms:2
+            ~acc:(Ir.Reg.F 12) ());
+      ]
+    ()
+
+let sixtrack =
+  make_loop_bench ~name:"sixtrack"
+    ~description:"particle tracking: reduction-dominated, long FP chains"
+    ~iters:700 ~stride:512
+    ~body_blocks:
+      [
+        (fun bld regs k ->
+          Kernels.reduction bld regs ~disp0:(k * 48) ~width:w ~terms:4
+            ~acc:(Ir.Reg.F 13) ());
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 48) ~width:w ~lanes:1 ~depth:6 ());
+        (fun bld regs k ->
+          Kernels.reduction bld regs ~disp0:(k * 48) ~width:w ~terms:3
+            ~acc:(Ir.Reg.F 14) ());
+        (fun bld regs k ->
+          Kernels.stream bld regs ~disp0:(k * 48) ~width:w ~lanes:2 ~depth:4 ());
+      ]
+    ()
+
+let suite =
+  [ wupwise; swim; mgrid; applu; mesa; art; equake; ammp; apsi; sixtrack ]
+
+let find name = List.find (fun b -> String.equal b.name name) suite
+let names = List.map (fun b -> b.name) suite

@@ -1,0 +1,36 @@
+(** The synthetic SPECFP2000-like benchmark suite.
+
+    The paper evaluates on SPECFP2000 binaries we do not have; each
+    generator here produces a deterministic guest program whose
+    superblock shape, memory-operation mix and runtime alias behaviour
+    mimic the characteristics the paper reports for that benchmark
+    (see DESIGN.md).  Notably:
+
+    - [ammp]: very large superblocks with many memory operations
+      (drives the 16-vs-64 alias-register gap of Figure 15) and rare
+      store-store collisions (its slight loss in Figure 16);
+    - [mesa]: store bursts behind slow data (store reordering is worth
+      ~13%, Figure 16);
+    - [art]/[equake]: pointer chasing and scatter access with moderate
+      genuine alias rates (rollback traffic);
+    - the rest: streaming/stencil/reduction FP kernels in several
+      blends. *)
+
+type bench = {
+  name : string;
+  default_iters : int;
+  make : iters:int -> Ir.Program.t;
+  description : string;
+}
+
+val program : ?scale:int -> bench -> Ir.Program.t
+(** Build the benchmark program with [scale] times the default
+    iteration count (default 1). *)
+
+val suite : bench list
+(** The ten benchmarks, in the paper's reporting order. *)
+
+val find : string -> bench
+(** Raises [Not_found] for an unknown name. *)
+
+val names : string list

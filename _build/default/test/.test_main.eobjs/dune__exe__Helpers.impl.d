@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Frontend Hw Ir List Opt QCheck QCheck_alcotest Sched String Vliw

@@ -1,0 +1,1 @@
+test/suite_analysis.ml: Alcotest Analysis Hashtbl Helpers Ir List Result

@@ -1,0 +1,1 @@
+test/suite_binary.ml: Alcotest Binary Bytes Frontend Helpers Ir List Printf Runtime Smarq Vliw Workload

@@ -1,0 +1,1 @@
+test/suite_cache.ml: Alcotest Frontend Helpers Runtime Smarq Vliw Workload

@@ -1,0 +1,1 @@
+test/suite_constprop.ml: Alcotest Analysis Frontend Hashtbl Helpers Ir List Opt Runtime Sched Smarq Vliw Workload

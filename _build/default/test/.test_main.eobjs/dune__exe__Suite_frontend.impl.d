@@ -1,0 +1,1 @@
+test/suite_frontend.ml: Alcotest Frontend Helpers Ir List Printf Vliw

@@ -1,0 +1,1 @@
+test/suite_hazards.ml: Alcotest Analysis Hashtbl Helpers Hw Ir List Sched

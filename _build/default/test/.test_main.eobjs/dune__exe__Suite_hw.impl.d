@@ -1,0 +1,1 @@
+test/suite_hw.ml: Alcotest Helpers Hw Ir List

@@ -1,0 +1,1 @@
+test/suite_interp.ml: Alcotest Frontend Hashtbl Helpers Hw Ir List Option Vliw

@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Format Hashtbl Helpers Ir List Result

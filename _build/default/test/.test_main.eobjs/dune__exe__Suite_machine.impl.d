@@ -1,0 +1,1 @@
+test/suite_machine.ml: Alcotest Helpers Ir List String Vliw

@@ -1,0 +1,1 @@
+test/suite_naive.ml: Alcotest Analysis Frontend Helpers Hw Ir List Opt Printf Runtime Sched Smarq Vliw Workload

@@ -1,0 +1,1 @@
+test/suite_opt.ml: Alcotest Analysis Hashtbl Helpers Ir List Opt Sched Vliw

@@ -1,0 +1,1 @@
+test/suite_paper.ml: Alcotest Analysis Helpers Hw Ir List Opt Sched

@@ -1,0 +1,1 @@
+test/suite_props.ml: Analysis Binary Frontend Hashtbl Helpers Hw Ir List Opt Printf QCheck Runtime Sched Smarq String Vliw Workload

@@ -1,0 +1,1 @@
+test/suite_regionexec.ml: Alcotest Analysis Array Helpers Hw Ir List Opt Sched Vliw Workload

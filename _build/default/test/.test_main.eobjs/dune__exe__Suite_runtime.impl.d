@@ -1,0 +1,1 @@
+test/suite_runtime.ml: Alcotest Frontend Helpers Ir List Runtime Smarq Vliw Workload

@@ -1,0 +1,1 @@
+test/suite_sched.ml: Alcotest Analysis Array Hashtbl Helpers Int Ir List Option Printf Sched String Vliw

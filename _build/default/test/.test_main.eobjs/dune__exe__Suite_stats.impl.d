@@ -1,0 +1,1 @@
+test/suite_stats.ml: Alcotest Format Helpers Runtime Sched Smarq String

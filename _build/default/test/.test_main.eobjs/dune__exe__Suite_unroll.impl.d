@@ -1,0 +1,1 @@
+test/suite_unroll.ml: Alcotest Frontend Helpers Int Ir List Opt Option Printf Runtime Smarq Vliw Workload

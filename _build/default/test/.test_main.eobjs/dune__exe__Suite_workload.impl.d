@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Frontend Helpers Ir List Printf Runtime Smarq Vliw Workload

@@ -1,0 +1,154 @@
+(* Guest binary images: encoding, disassembly, and the full
+   dynamic-binary-translation path with edge profiling. *)
+
+open Helpers
+module I = Ir.Instr
+
+let roundtrip p = Binary.Codec.disassemble (Binary.Codec.assemble p)
+
+let run_interp p =
+  let m = Vliw.Machine.create () in
+  ignore (Frontend.Interp.run ~fuel:100_000_000 m p);
+  m
+
+let test_image_header () =
+  let img = Binary.Image.create ~entry_index:2 ~count:5 in
+  let b = Binary.Image.to_bytes img in
+  Alcotest.(check int) "size" (16 + (5 * 16)) (Bytes.length b);
+  let img2 = Binary.Image.of_bytes b in
+  Alcotest.(check int) "entry" 2 (Binary.Image.entry_index img2);
+  Alcotest.(check int) "count" 5 (Binary.Image.count img2);
+  Bytes.set b 0 'X';
+  Alcotest.check_raises "bad magic"
+    (Invalid_argument "Image.of_bytes: bad magic") (fun () ->
+      ignore (Binary.Image.of_bytes b))
+
+let test_truncated_image () =
+  let img = Binary.Image.create ~entry_index:0 ~count:3 in
+  let b = Binary.Image.to_bytes img in
+  let cut = Bytes.sub b 0 (Bytes.length b - 8) in
+  Alcotest.check_raises "truncated"
+    (Invalid_argument "Image.of_bytes: truncated records") (fun () ->
+      ignore (Binary.Image.of_bytes cut))
+
+let test_suite_roundtrip_state () =
+  List.iter
+    (fun (b : Workload.Specfp.bench) ->
+      let p = Workload.Specfp.program b in
+      let p2 = roundtrip p in
+      (match Ir.Program.validate p2 with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" b.Workload.Specfp.name m);
+      if not (Vliw.Machine.equal_guest_state (run_interp p) (run_interp p2))
+      then Alcotest.failf "%s roundtrip diverged" b.Workload.Specfp.name)
+    Workload.Specfp.suite
+
+let test_instruction_count_preserved () =
+  let b = Workload.Specfp.find "wupwise" in
+  let p = Workload.Specfp.program b in
+  let p2 = roundtrip p in
+  (* plain instruction payload is identical; only terminator encodings
+     (BR+JMP pairs, trampolines) may add control records *)
+  let plain prog =
+    List.fold_left
+      (fun acc (blk : Ir.Block.t) -> acc + List.length blk.Ir.Block.body)
+      0 (Ir.Program.blocks prog)
+  in
+  Alcotest.(check int) "same plain instruction count" (plain p) (plain p2)
+
+let test_unencodable_rejected () =
+  reset_ids ();
+  let temp_instr = mk (I.Mov (Ir.Reg.T 5, I.Imm 1)) in
+  let blk = Ir.Block.make ~label:"a" ~body:[ temp_instr ] Ir.Block.Halt in
+  let p = Ir.Program.make ~entry:"a" [ blk ] in
+  (match Binary.Codec.assemble p with
+  | exception Binary.Codec.Unencodable _ -> ()
+  | _ -> Alcotest.fail "temporaries must not encode");
+  reset_ids ();
+  let annotated =
+    I.with_annot (ld (f 1) (r 1) 0) (Ir.Annot.queue ~offset:0 ~p:true ~c:false)
+  in
+  let blk2 = Ir.Block.make ~label:"a" ~body:[ annotated ] Ir.Block.Halt in
+  let p2 = Ir.Program.make ~entry:"a" [ blk2 ] in
+  match Binary.Codec.assemble p2 with
+  | exception Binary.Codec.Unencodable _ -> ()
+  | _ -> Alcotest.fail "annotated guest code must not encode"
+
+let test_probability_hints_do_not_survive () =
+  let b = Workload.Specfp.find "wupwise" in
+  let p = Workload.Specfp.program b in
+  let p2 = roundtrip p in
+  let all_half =
+    List.for_all
+      (fun (blk : Ir.Block.t) ->
+        match blk.Ir.Block.terminator with
+        | Ir.Block.Cond { taken_probability; _ } -> taken_probability = 0.5
+        | Ir.Block.Fallthrough _ | Ir.Block.Halt -> true)
+      (Ir.Program.blocks p2)
+  in
+  Alcotest.(check bool) "no hints in the binary" true all_half
+
+let test_edge_profiling_recovers_bias () =
+  let pr = Frontend.Profiler.create () in
+  Alcotest.(check bool) "no verdict before samples" true
+    (Frontend.Profiler.edge_bias pr ~from_:"a" ~taken:"t" ~fallthrough:"f"
+    = None);
+  for _ = 1 to 30 do
+    Frontend.Profiler.note_edge pr "a" "t"
+  done;
+  for _ = 1 to 10 do
+    Frontend.Profiler.note_edge pr "a" "f"
+  done;
+  match Frontend.Profiler.edge_bias pr ~from_:"a" ~taken:"t" ~fallthrough:"f"
+  with
+  | Some bias -> Alcotest.(check (float 0.01)) "bias" 0.75 bias
+  | None -> Alcotest.fail "expected a verdict"
+
+let test_dbt_performance_parity () =
+  (* a disassembled binary must reach the same steady state as the
+     original CFG: edge profiling substitutes for the lost hints *)
+  let b = Workload.Specfp.find "wupwise" in
+  let p = Workload.Specfp.program ~scale:2 b in
+  let p2 = roundtrip p in
+  let cycles prog =
+    (Smarq.run_program ~fuel:200_000_000 ~scheme:(Smarq.Scheme.Smarq 64)
+       prog).Runtime.Driver.stats.Runtime.Stats.total_cycles
+  in
+  let c1 = cycles p and c2 = cycles p2 in
+  let ratio = float_of_int c2 /. float_of_int c1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "decoded within 2%% of original (%.3f)" ratio)
+    true
+    (ratio < 1.02)
+
+let test_dbt_equivalence_all_schemes () =
+  let b = Workload.Specfp.find "art" in
+  let p2 = roundtrip (Workload.Specfp.program b) in
+  let ref_m = run_interp p2 in
+  List.iter
+    (fun scheme ->
+      let r = Smarq.run_program ~fuel:100_000_000 ~scheme p2 in
+      if not (Vliw.Machine.equal_guest_state ref_m r.Runtime.Driver.machine)
+      then
+        Alcotest.failf "decoded art diverged under %s"
+          (Smarq.Scheme.name scheme))
+    [ Smarq.Scheme.Smarq 64; Smarq.Scheme.Alat; Smarq.Scheme.None_ ]
+
+let suite =
+  ( "binary",
+    [
+      case "image header roundtrip" test_image_header;
+      case "truncated images rejected" test_truncated_image;
+      case "suite roundtrips bit-exactly in behaviour"
+        test_suite_roundtrip_state;
+      case "plain instruction payload preserved"
+        test_instruction_count_preserved;
+      case "region-only content is unencodable" test_unencodable_rejected;
+      case "probability hints do not survive assembly"
+        test_probability_hints_do_not_survive;
+      case "edge profiling recovers branch bias"
+        test_edge_profiling_recovers_bias;
+      case "decoded binaries optimize at parity" test_dbt_performance_parity;
+      case "decoded binaries stay equivalent, all schemes"
+        test_dbt_equivalence_all_schemes;
+    ] )

@@ -1,0 +1,106 @@
+(* Architectural state: registers, byte-level memory, checkpoints. *)
+
+open Helpers
+module M = Vliw.Machine
+
+let test_regs_default_zero () =
+  let m = M.create () in
+  Alcotest.(check int) "unwritten reads 0" 0 (M.get_reg m (r 5));
+  M.set_reg m (r 5) 42;
+  Alcotest.(check int) "written value" 42 (M.get_reg m (r 5))
+
+let test_memory_widths () =
+  let m = M.create () in
+  M.store m ~addr:100 ~width:4 0x11223344;
+  Alcotest.(check int) "word read" 0x11223344 (M.load m ~addr:100 ~width:4);
+  Alcotest.(check int) "byte 0 (little-endian)" 0x44 (M.load m ~addr:100 ~width:1);
+  Alcotest.(check int) "byte 3" 0x11 (M.load m ~addr:103 ~width:1);
+  (* partial overlap: store clobbers shared bytes only *)
+  M.store m ~addr:102 ~width:2 0xBEEF;
+  Alcotest.(check int) "partially overwritten" 0xBEEF3344
+    (M.load m ~addr:100 ~width:4);
+  Alcotest.check_raises "width 9 rejected"
+    (Invalid_argument "Machine: unsupported access width 9") (fun () ->
+      ignore (M.load m ~addr:0 ~width:9))
+
+let test_checkpoint_rollback () =
+  let m = M.create () in
+  M.set_reg m (r 1) 1;
+  M.store m ~addr:8 ~width:4 111;
+  M.checkpoint m;
+  M.set_reg m (r 1) 2;
+  M.set_reg m (r 2) 3;
+  M.store m ~addr:8 ~width:4 222;
+  M.store m ~addr:16 ~width:8 333;
+  M.rollback m;
+  Alcotest.(check int) "r1 restored" 1 (M.get_reg m (r 1));
+  Alcotest.(check int) "r2 restored to 0" 0 (M.get_reg m (r 2));
+  Alcotest.(check int) "mem restored" 111 (M.load m ~addr:8 ~width:4);
+  Alcotest.(check int) "fresh mem unwritten" 0 (M.load m ~addr:16 ~width:8);
+  Alcotest.(check bool) "region ended" false (M.in_region m)
+
+let test_checkpoint_commit () =
+  let m = M.create () in
+  M.checkpoint m;
+  M.set_reg m (r 1) 7;
+  M.store m ~addr:0 ~width:4 9;
+  M.commit m;
+  Alcotest.(check int) "reg kept" 7 (M.get_reg m (r 1));
+  Alcotest.(check int) "mem kept" 9 (M.load m ~addr:0 ~width:4)
+
+let test_no_nesting () =
+  let m = M.create () in
+  M.checkpoint m;
+  Alcotest.check_raises "nested checkpoint rejected"
+    (Invalid_argument "Machine.checkpoint: region already active") (fun () ->
+      M.checkpoint m);
+  M.commit m;
+  Alcotest.check_raises "commit without region"
+    (Invalid_argument "Machine.commit: no active region") (fun () ->
+      M.commit m)
+
+let test_copy_independence () =
+  let m = M.create () in
+  M.set_reg m (r 1) 5;
+  M.store m ~addr:4 ~width:4 6;
+  let c = M.copy m in
+  M.set_reg m (r 1) 50;
+  M.store m ~addr:4 ~width:4 60;
+  Alcotest.(check int) "copied reg" 5 (M.get_reg c (r 1));
+  Alcotest.(check int) "copied mem" 6 (M.load c ~addr:4 ~width:4)
+
+let test_equality_ignores_temps () =
+  let a = M.create () and b = M.create () in
+  M.set_reg a (Ir.Reg.T 3) 99;
+  Alcotest.(check bool) "temps invisible" true (M.equal_guest_state a b);
+  M.set_reg a (r 3) 99;
+  Alcotest.(check bool) "guest regs visible" false (M.equal_guest_state a b);
+  let diffs = M.diff_guest_state a b in
+  Alcotest.(check bool) "diff mentions r3" true
+    (List.exists (fun s -> String.length s > 0 && String.sub s 0 6 = "reg r3") diffs)
+
+let test_rollback_after_many_writes () =
+  let m = M.create () in
+  for i = 0 to 63 do
+    M.store m ~addr:(i * 8) ~width:8 i
+  done;
+  let before = M.copy m in
+  M.checkpoint m;
+  for i = 0 to 63 do
+    M.store m ~addr:(i * 8) ~width:8 (1000 + i)
+  done;
+  M.rollback m;
+  Alcotest.(check bool) "full restore" true (M.equal_guest_state before m)
+
+let suite =
+  ( "machine",
+    [
+      case "registers default to zero" test_regs_default_zero;
+      case "little-endian byte memory" test_memory_widths;
+      case "checkpoint and rollback" test_checkpoint_rollback;
+      case "checkpoint and commit" test_checkpoint_commit;
+      case "regions do not nest" test_no_nesting;
+      case "deep copy independence" test_copy_independence;
+      case "equality ignores optimizer temps" test_equality_ignores_temps;
+      case "rollback across many writes" test_rollback_after_many_writes;
+    ] )

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "smarq"
+    [
+      Suite_ir.suite;
+      Suite_hw.suite;
+      Suite_machine.suite;
+      Suite_interp.suite;
+      Suite_frontend.suite;
+      Suite_analysis.suite;
+      Suite_sched.suite;
+      Suite_opt.suite;
+      Suite_workload.suite;
+      Suite_regionexec.suite;
+      Suite_cache.suite;
+      Suite_naive.suite;
+      Suite_constprop.suite;
+      Suite_paper.suite;
+      Suite_unroll.suite;
+      Suite_hazards.suite;
+      Suite_binary.suite;
+      Suite_stats.suite;
+      Suite_props.suite;
+      Suite_runtime.suite;
+    ]
