@@ -460,6 +460,102 @@ let unroll_exp () =
      paper's conclusion suggests.
 "
 
+(* ---- Translation cache pressure: more hot regions than the cache
+   can hold, so the eviction policy matters.  Emits one JSON object per
+   policy for downstream tooling. ---- *)
+
+let tcache_pressure_program ~loops ~inner ~outer =
+  let bld = Workload.Builder.create () in
+  let module I = Ir.Instr in
+  let a = Ir.Reg.R 1 and b = Ir.Reg.R 2 in
+  let idx = Ir.Reg.R 4 and outer_c = Ir.Reg.R 10 in
+  Workload.Builder.straight bld "init"
+    (Workload.Builder.instrs bld
+       [
+         I.Mov (a, I.Imm 0x10000);
+         I.Mov (b, I.Imm 0x20000);
+         I.Mov (outer_c, I.Imm outer);
+       ])
+    ~next:"setup_0";
+  for k = 0 to loops - 1 do
+    let setup = Printf.sprintf "setup_%d" k in
+    let loop = Printf.sprintf "loop_%d" k in
+    let next =
+      if k = loops - 1 then "outer_latch" else Printf.sprintf "setup_%d" (k + 1)
+    in
+    Workload.Builder.straight bld setup
+      (Workload.Builder.instrs bld [ I.Mov (idx, I.Imm inner) ])
+      ~next:loop;
+    (* each loop touches its own slice, so every region is distinct *)
+    let disp = k * 64 in
+    let body =
+      Workload.Builder.instrs bld
+        [
+          I.Load
+            { dst = Ir.Reg.F 1; addr = { I.base = a; disp }; width = 8;
+              annot = Ir.Annot.none };
+          I.Load
+            { dst = Ir.Reg.F 2; addr = { I.base = b; disp }; width = 8;
+              annot = Ir.Annot.none };
+          I.Fbinop (I.Fadd, Ir.Reg.F 3, I.Reg (Ir.Reg.F 1),
+                    I.Reg (Ir.Reg.F 2));
+          I.Store
+            { src = I.Reg (Ir.Reg.F 3); addr = { I.base = a; disp = disp + 8 };
+              width = 8; annot = Ir.Annot.none };
+          I.Binop (I.Add, Ir.Reg.R 6, I.Reg (Ir.Reg.R 6), I.Imm (k + 1));
+        ]
+    in
+    Workload.Builder.loop_back bld loop body ~counter:idx ~back_to:loop
+      ~exit_to:next ~iters:inner
+  done;
+  Workload.Builder.loop_back bld "outer_latch" [] ~counter:outer_c
+    ~back_to:"setup_0" ~exit_to:"done" ~iters:outer;
+  Workload.Builder.add_block bld "done" [] Ir.Block.Halt;
+  Workload.Builder.program bld ~entry:"init"
+
+let tcache_exp () =
+  hr "Translation cache: eviction policies under region pressure (JSON)";
+  let loops = 8 and inner = 80 and outer = 40 in
+  let program = tcache_pressure_program ~loops ~inner ~outer in
+  let run ~policy ?capacity () =
+    (Smarq.run_program ~fuel:1_000_000_000 ~tcache_policy:policy ?tcache_capacity:capacity
+       ~scheme:(Smarq.Scheme.Smarq 64) program)
+      .Runtime.Driver.stats
+  in
+  (* size the bounded runs off the unbounded footprint: half the full
+     resident set forces evictions while any single region still fits *)
+  let unbounded = run ~policy:Smarq.Tcache.Policy.Unbounded () in
+  let capacity =
+    max 1 (unbounded.Runtime.Stats.tcache_peak_resident / 2)
+  in
+  let emit policy capacity (st : Runtime.Stats.t) =
+    Printf.printf
+      "{\"scenario\":\"tcache_pressure\",\"policy\":\"%s\",\"capacity\":%s,\
+       \"hot_regions\":%d,\"total_cycles\":%d,\"regions_built\":%d,\
+       \"tcache\":{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"flushes\":%d,\
+       \"chain_follows\":%d,\"peak_resident_instrs\":%d}}\n"
+      (Smarq.Tcache.Policy.to_string policy)
+      (match capacity with Some c -> string_of_int c | None -> "null")
+      loops st.Runtime.Stats.total_cycles st.Runtime.Stats.regions_built
+      st.Runtime.Stats.tcache_hits st.Runtime.Stats.tcache_misses
+      st.Runtime.Stats.tcache_evictions st.Runtime.Stats.tcache_flushes
+      st.Runtime.Stats.tcache_chain_follows
+      st.Runtime.Stats.tcache_peak_resident
+  in
+  emit Smarq.Tcache.Policy.Unbounded None unbounded;
+  List.iter
+    (fun policy ->
+      let st = run ~policy ~capacity () in
+      emit policy (Some capacity) st)
+    [ Smarq.Tcache.Policy.Lru; Smarq.Tcache.Policy.Fifo;
+      Smarq.Tcache.Policy.Flush_all ];
+  Printf.printf
+    "the %d hot loops exceed the bounded capacity, so lru/fifo evict and\n\
+     re-translate while flush-all drops everything on overflow; unbounded\n\
+     is the no-pressure reference.  Chain follows count dispatches that\n\
+     skipped the cache lookup entirely.\n"
+    loops
+
 let experiments =
   [
     ("table1", table1);
@@ -474,6 +570,7 @@ let experiments =
     ("cache", cache_exp);
     ("static", static_exp);
     ("unroll", unroll_exp);
+    ("tcache", tcache_exp);
     ("micro", micro);
   ]
 

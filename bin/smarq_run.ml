@@ -34,6 +34,41 @@ let scale_arg =
   let doc = "Multiply the benchmark's iteration count." in
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc)
 
+let tcache_policy_conv =
+  let parse s =
+    try Ok (Smarq.Tcache.Policy.of_string s)
+    with Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, Smarq.Tcache.Policy.pp)
+
+let tcache_policy_arg =
+  let doc =
+    "Translation cache eviction policy: lru, fifo, flush-all, unbounded."
+  in
+  Arg.(
+    value
+    & opt tcache_policy_conv Smarq.Tcache.Policy.Unbounded
+    & info [ "tcache-policy" ] ~docv:"POLICY" ~doc)
+
+let positive_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg "capacity must be positive")
+    | None -> Error (`Msg (Printf.sprintf "invalid capacity %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let tcache_capacity_arg =
+  let doc =
+    "Translation cache capacity in scheduled-region instructions \
+     (default: unlimited)."
+  in
+  Arg.(
+    value
+    & opt (some positive_int_conv) None
+    & info [ "tcache-capacity" ] ~docv:"INSTRS" ~doc)
+
 let find_bench name =
   match Workload.Specfp.find name with
   | b -> b
@@ -58,21 +93,30 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run bench scheme scale =
+  let run bench scheme scale tcache_policy tcache_capacity =
     let b = find_bench bench in
     let program = Workload.Specfp.program ~scale b in
-    let r = Smarq.run_program ~fuel:2_000_000_000 ~scheme program in
-    Printf.printf "%s under %s (scale %d):\n" bench (Smarq.Scheme.name scheme)
-      scale;
+    let r =
+      Smarq.run_program ~fuel:2_000_000_000 ~tcache_policy ?tcache_capacity
+        ~scheme program
+    in
+    Printf.printf "%s under %s (scale %d, tcache %s%s):\n" bench
+      (Smarq.Scheme.name scheme) scale
+      (Smarq.Tcache.Policy.to_string tcache_policy)
+      (match tcache_capacity with
+      | Some c -> Printf.sprintf "/%d" c
+      | None -> "");
     Runtime.Stats.pp Format.std_formatter r.Runtime.Driver.stats;
     Format.print_flush ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark under one scheme")
-    Term.(const run $ bench_arg $ scheme_arg $ scale_arg)
+    Term.(
+      const run $ bench_arg $ scheme_arg $ scale_arg $ tcache_policy_arg
+      $ tcache_capacity_arg)
 
 let compare_cmd =
-  let run bench scale =
+  let run bench scale tcache_policy tcache_capacity =
     let b = find_bench bench in
     let program = Workload.Specfp.program ~scale b in
     let schemes =
@@ -89,7 +133,10 @@ let compare_cmd =
       "rollback" "reopts";
     List.iter
       (fun s ->
-        let r = Smarq.run_program ~fuel:2_000_000_000 ~scheme:s program in
+        let r =
+          Smarq.run_program ~fuel:2_000_000_000 ~tcache_policy
+            ?tcache_capacity ~scheme:s program
+        in
         let st = r.Runtime.Driver.stats in
         if s = Smarq.Scheme.None_ then
           baseline := st.Runtime.Stats.total_cycles;
@@ -106,7 +153,9 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run one benchmark under every scheme")
-    Term.(const run $ bench_arg $ scale_arg)
+    Term.(
+      const run $ bench_arg $ scale_arg $ tcache_policy_arg
+      $ tcache_capacity_arg)
 
 let region_cmd =
   let run bench scheme =

@@ -12,6 +12,7 @@ module Analysis = Analysis
 module Sched = Sched
 module Opt = Opt
 module Runtime = Runtime
+module Tcache = Tcache
 module Workload = Workload
 
 (** Named alias-detection schemes for the command line and harness. *)
@@ -66,7 +67,8 @@ module Scheme = struct
   let all = [ Smarq 64; Smarq 16; Alat; Efficeon; None_ ]
 end
 
-let run_program ?config ?fuel ?unroll ~scheme program =
+let run_program ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity ~scheme
+    program =
   let cfg =
     match config, scheme with
     | Some c, _ -> c
@@ -78,12 +80,14 @@ let run_program ?config ?fuel ?unroll ~scheme program =
       ->
       Vliw.Config.default
   in
-  Runtime.Driver.run ~config:cfg ?fuel ?unroll
+  Runtime.Driver.run ~config:cfg ?fuel ?unroll ?tcache_policy ?tcache_capacity
     ~scheme:(Scheme.to_driver scheme) program
 
-let run_benchmark ?config ?fuel ?scale ~scheme name =
+let run_benchmark ?config ?fuel ?scale ?tcache_policy ?tcache_capacity ~scheme
+    name =
   let bench = Workload.Specfp.find name in
-  run_program ?config ?fuel ~scheme (Workload.Specfp.program ?scale bench)
+  run_program ?config ?fuel ?tcache_policy ?tcache_capacity ~scheme
+    (Workload.Specfp.program ?scale bench)
 
 (** [speedup ~baseline ~improved] is baseline-cycles / improved-cycles
     (> 1 means [improved] is faster). *)

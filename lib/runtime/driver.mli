@@ -44,6 +44,8 @@ val run :
   ?max_reopts:int ->
   ?fuel:int ->
   ?unroll:int ->
+  ?tcache_policy:Tcache.Policy.t ->
+  ?tcache_capacity:int ->
   scheme:scheme ->
   Ir.Program.t ->
   result
@@ -51,4 +53,12 @@ val run :
     [fuel] bounds executed guest blocks (default 2,000,000); raises
     [Frontend.Interp.Out_of_fuel] beyond it.  [unroll] (default 1)
     unrolls self-loop superblocks that many times before optimization —
-    the larger-regions experiment of the paper's conclusion. *)
+    the larger-regions experiment of the paper's conclusion.
+
+    Translations live in a {!Tcache.Store.t}: [tcache_policy] (default
+    [Unbounded], which reproduces the unbounded-cache behavior cycle
+    for cycle) and [tcache_capacity] (scheduled-region instructions)
+    bound the code cache; evicted regions are re-translated when their
+    entry label turns hot again.  Committed region exits are chained to
+    resident translations so repeat dispatches skip the cache lookup;
+    the cache's telemetry is folded into the result's [stats]. *)

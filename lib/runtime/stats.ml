@@ -11,8 +11,17 @@ type t = {
   mutable rollbacks : int;
   mutable rollbacks_not_assumed : int;
   mutable reoptimizations : int;
+  mutable pinned_ops : int;
   mutable gave_up_regions : int;
   mutable alias_checks : int;
+  (* translation cache *)
+  mutable tcache_hits : int;
+  mutable tcache_misses : int;
+  mutable tcache_evictions : int;
+  mutable tcache_flushes : int;
+  mutable tcache_invalidations : int;
+  mutable tcache_chain_follows : int;
+  mutable tcache_peak_resident : int;
   mutable regions_built : int;
   mutable superblock_instrs : int;
   mutable superblock_mem_ops : int;
@@ -43,8 +52,16 @@ let create () =
     rollbacks = 0;
     rollbacks_not_assumed = 0;
     reoptimizations = 0;
+    pinned_ops = 0;
     gave_up_regions = 0;
     alias_checks = 0;
+    tcache_hits = 0;
+    tcache_misses = 0;
+    tcache_evictions = 0;
+    tcache_flushes = 0;
+    tcache_invalidations = 0;
+    tcache_chain_follows = 0;
+    tcache_peak_resident = 0;
     regions_built = 0;
     superblock_instrs = 0;
     superblock_mem_ops = 0;
@@ -84,6 +101,18 @@ let note_region_built t (o : Opt.Optimizer.t) ~ws =
     t.nonspec_mode_regions <- t.nonspec_mode_regions + 1;
   t.working_set <- Sched.Working_set.add t.working_set ws
 
+let note_tcache t (tel : Tcache.Telemetry.t) =
+  t.tcache_hits <- t.tcache_hits + tel.Tcache.Telemetry.hits;
+  t.tcache_misses <- t.tcache_misses + tel.Tcache.Telemetry.misses;
+  t.tcache_evictions <- t.tcache_evictions + tel.Tcache.Telemetry.evictions;
+  t.tcache_flushes <- t.tcache_flushes + tel.Tcache.Telemetry.flushes;
+  t.tcache_invalidations <-
+    t.tcache_invalidations + tel.Tcache.Telemetry.invalidations;
+  t.tcache_chain_follows <-
+    t.tcache_chain_follows + tel.Tcache.Telemetry.chain_follows;
+  t.tcache_peak_resident <-
+    max t.tcache_peak_resident tel.Tcache.Telemetry.peak_resident_instrs
+
 let mem_ops_per_superblock t =
   if t.regions_built = 0 then 0.0
   else float_of_int t.superblock_mem_ops /. float_of_int t.regions_built
@@ -113,7 +142,14 @@ let pp ppf t =
   f "rollbacks" t.rollbacks;
   f "  not assumed (FP)" t.rollbacks_not_assumed;
   f "reoptimizations" t.reoptimizations;
+  f "  ops pinned" t.pinned_ops;
   f "regions built" t.regions_built;
+  f "tcache hits" t.tcache_hits;
+  f "tcache misses" t.tcache_misses;
+  f "tcache evictions" t.tcache_evictions;
+  f "tcache flushes" t.tcache_flushes;
+  f "tcache chain follows" t.tcache_chain_follows;
+  f "tcache peak resident" t.tcache_peak_resident;
   f "loads eliminated" t.loads_eliminated;
   f "stores eliminated" t.stores_eliminated;
   f "check constraints" t.check_constraints;

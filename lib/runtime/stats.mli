@@ -18,8 +18,20 @@ type t = {
       (** rollbacks whose pair was not a recorded speculation — false
           positives by construction *)
   mutable reoptimizations : int;
+  mutable pinned_ops : int;
+      (** operations pinned out of speculation after repeat violations *)
   mutable gave_up_regions : int;
   mutable alias_checks : int;
+  (* translation cache (copied from [Tcache.Telemetry] after a run) *)
+  mutable tcache_hits : int;
+  mutable tcache_misses : int;
+  mutable tcache_evictions : int;
+  mutable tcache_flushes : int;
+  mutable tcache_invalidations : int;
+  mutable tcache_chain_follows : int;
+      (** dispatches that skipped the lookup via a region chain link *)
+  mutable tcache_peak_resident : int;
+      (** high-water mark of resident scheduled instructions *)
   (* static, per region built *)
   mutable regions_built : int;
   mutable superblock_instrs : int;
@@ -40,6 +52,10 @@ type t = {
 val create : unit -> t
 
 val note_region_built : t -> Opt.Optimizer.t -> ws:Sched.Working_set.t -> unit
+
+val note_tcache : t -> Tcache.Telemetry.t -> unit
+(** Fold a translation cache's telemetry into the run's statistics
+    (counters add; the peak takes the max). *)
 
 val mem_ops_per_superblock : t -> float
 val constraints_per_mem_op : t -> float * float

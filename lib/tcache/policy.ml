@@ -1,0 +1,18 @@
+type t = Lru | Fifo | Flush_all | Unbounded
+
+let to_string = function
+  | Lru -> "lru"
+  | Fifo -> "fifo"
+  | Flush_all -> "flush-all"
+  | Unbounded -> "unbounded"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "lru" -> Lru
+  | "fifo" -> Fifo
+  | "flush" | "flush-all" | "flush_all" -> Flush_all
+  | "unbounded" | "none" -> Unbounded
+  | _ -> invalid_arg (Printf.sprintf "unknown tcache policy %S" s)
+
+let all = [ Lru; Fifo; Flush_all; Unbounded ]
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,226 @@
+type 'a node = {
+  key : string;
+  value : 'a;
+  mutable size : int;
+  mutable tick : int;  (* last-use stamp (Lru) *)
+  seq : int;  (* insertion stamp (Fifo) *)
+  mutable out_links : (string * 'a node) list;  (* exit label -> target *)
+  mutable in_links : 'a node list;  (* sources chaining into us *)
+}
+
+type 'a t = {
+  pol : Policy.t;
+  cap : int;  (* max_int = unlimited *)
+  tbl : (string, 'a node) Hashtbl.t;
+  tel : Telemetry.t;
+  mutable clock : int;
+  mutable resident : int;
+}
+
+let create ?capacity ~policy () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Tcache.Store.create: capacity <= 0"
+  | _ -> ());
+  {
+    pol = policy;
+    cap = (match policy, capacity with
+          | Policy.Unbounded, _ | _, None -> max_int
+          | _, Some c -> c);
+    tbl = Hashtbl.create 64;
+    tel = Telemetry.create ();
+    clock = 0;
+    resident = 0;
+  }
+
+let policy t = t.pol
+let capacity t = if t.cap = max_int then None else Some t.cap
+let telemetry t = t.tel
+let resident_instrs t = t.resident
+let length t = Hashtbl.length t.tbl
+let mem t key = Hashtbl.mem t.tbl key
+let iter t f = Hashtbl.iter (fun k n -> f k n.value) t.tbl
+
+let tick t node =
+  t.clock <- t.clock + 1;
+  node.tick <- t.clock
+
+(* Break every link out of, then into, [node].  The in_links list can
+   name the same source several times (two exits of one region chained
+   into us); de-duplication by physical identity keeps the count of
+   broken links honest. *)
+let unchain t node =
+  List.iter
+    (fun (_, target) ->
+      target.in_links <- List.filter (fun n -> n != node) target.in_links;
+      t.tel.Telemetry.chains_broken <- t.tel.Telemetry.chains_broken + 1)
+    node.out_links;
+  node.out_links <- [];
+  let sources =
+    List.fold_left
+      (fun acc src -> if List.memq src acc then acc else src :: acc)
+      [] node.in_links
+  in
+  List.iter
+    (fun src ->
+      let kept = List.filter (fun (_, tgt) -> tgt != node) src.out_links in
+      t.tel.Telemetry.chains_broken <-
+        t.tel.Telemetry.chains_broken
+        + (List.length src.out_links - List.length kept);
+      src.out_links <- kept)
+    sources;
+  node.in_links <- []
+
+let unchain_outgoing t node =
+  List.iter
+    (fun (_, target) ->
+      target.in_links <- List.filter (fun n -> n != node) target.in_links;
+      t.tel.Telemetry.chains_broken <- t.tel.Telemetry.chains_broken + 1)
+    node.out_links;
+  node.out_links <- []
+
+let remove_node t node =
+  unchain t node;
+  Hashtbl.remove t.tbl node.key;
+  t.resident <- t.resident - node.size
+
+(* Lru / Fifo victim: the resident node (other than [keep]) with the
+   smallest stamp.  Linear in resident translations, which stay few —
+   a production cache would keep an intrusive recency list instead. *)
+let victim t ~keep =
+  let stamp n =
+    match t.pol with Policy.Fifo -> n.seq | _ -> n.tick
+  in
+  Hashtbl.fold
+    (fun _ n best ->
+      if (match keep with Some k -> n == k | None -> false) then best
+      else
+        match best with
+        | Some b when stamp b <= stamp n -> best
+        | _ -> Some n)
+    t.tbl None
+
+let flush_links t =
+  Hashtbl.iter
+    (fun _ n ->
+      t.tel.Telemetry.chains_broken <-
+        t.tel.Telemetry.chains_broken + List.length n.out_links;
+      n.out_links <- [];
+      n.in_links <- [])
+    t.tbl
+
+let flush_keeping t ~keep =
+  flush_links t;
+  Hashtbl.reset t.tbl;
+  (match keep with
+  | Some n -> Hashtbl.replace t.tbl n.key n
+  | None -> ());
+  t.resident <- (match keep with Some n -> n.size | None -> 0);
+  t.tel.Telemetry.flushes <- t.tel.Telemetry.flushes + 1
+
+let flush t = flush_keeping t ~keep:None
+
+(* Make room for [need] more instructions, never evicting [keep]. *)
+let make_room t ~need ~keep =
+  match t.pol with
+  | Policy.Unbounded -> ()
+  | Policy.Lru | Policy.Fifo ->
+    let rec go () =
+      if t.resident + need > t.cap then
+        match victim t ~keep with
+        | Some v ->
+          remove_node t v;
+          t.tel.Telemetry.evictions <- t.tel.Telemetry.evictions + 1;
+          go ()
+        | None -> ()
+    in
+    go ()
+  | Policy.Flush_all ->
+    if t.resident + need > t.cap then flush_keeping t ~keep
+
+let note_peak t =
+  if t.resident > t.tel.Telemetry.peak_resident_instrs then
+    t.tel.Telemetry.peak_resident_instrs <- t.resident
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+    t.tel.Telemetry.hits <- t.tel.Telemetry.hits + 1;
+    tick t node;
+    Some node.value
+  | None ->
+    t.tel.Telemetry.misses <- t.tel.Telemetry.misses + 1;
+    None
+
+let insert t key ~size value =
+  if size < 0 then invalid_arg "Tcache.Store.insert: negative size";
+  (match Hashtbl.find_opt t.tbl key with
+  | Some old -> remove_node t old  (* silent replace, not an eviction *)
+  | None -> ());
+  if size > t.cap then
+    t.tel.Telemetry.rejections <- t.tel.Telemetry.rejections + 1
+  else begin
+    make_room t ~need:size ~keep:None;
+    t.clock <- t.clock + 1;
+    let node =
+      {
+        key;
+        value;
+        size;
+        tick = t.clock;
+        seq = t.clock;
+        out_links = [];
+        in_links = [];
+      }
+    in
+    Hashtbl.replace t.tbl key node;
+    t.resident <- t.resident + size;
+    t.tel.Telemetry.insertions <- t.tel.Telemetry.insertions + 1;
+    note_peak t
+  end
+
+let replace t key ~size =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some node ->
+    unchain_outgoing t node;
+    t.resident <- t.resident - node.size + size;
+    node.size <- size;
+    tick t node;
+    if size > t.cap then begin
+      (* cannot fit even alone: drop it rather than break the bound *)
+      remove_node t node;
+      t.tel.Telemetry.rejections <- t.tel.Telemetry.rejections + 1
+    end
+    else begin
+      make_room t ~need:0 ~keep:(Some node);
+      note_peak t
+    end
+
+let invalidate t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some node ->
+    remove_node t node;
+    t.tel.Telemetry.invalidations <- t.tel.Telemetry.invalidations + 1
+
+let chain t ~from ~exit =
+  match Hashtbl.find_opt t.tbl from, Hashtbl.find_opt t.tbl exit with
+  | Some src, Some target ->
+    if not (List.mem_assoc exit src.out_links) then begin
+      src.out_links <- (exit, target) :: src.out_links;
+      target.in_links <- src :: target.in_links;
+      t.tel.Telemetry.chains_installed <-
+        t.tel.Telemetry.chains_installed + 1
+    end
+  | _ -> ()
+
+let follow t ~from ~exit =
+  match Hashtbl.find_opt t.tbl from with
+  | None -> None
+  | Some src ->
+    (match List.assoc_opt exit src.out_links with
+    | None -> None
+    | Some target ->
+      t.tel.Telemetry.chain_follows <- t.tel.Telemetry.chain_follows + 1;
+      tick t target;
+      Some target.value)

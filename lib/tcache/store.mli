@@ -1,0 +1,91 @@
+(** A capacity-bounded translation cache with region chaining.
+
+    Keys are guest entry labels; values are whatever the runtime caches
+    per translation.  Capacity is counted in scheduled-region
+    instructions ([size] on insert), the closest analogue of code-cache
+    bytes our model has.  The {!Policy.t} chosen at creation decides
+    what happens when an insertion would exceed the capacity.
+
+    {2 Chaining}
+
+    When a committed region's exit label has a cached translation, the
+    runtime installs a chain link ([chain]) so subsequent dispatches
+    skip the lookup ([follow]).  Links are kept consistent with the
+    cache contents:
+
+    - eviction, invalidation and flush break every link into {e and}
+      out of the removed translation;
+    - re-optimization ([replace]) rewrites the translation in place, so
+      links {e into} its entry stay valid, but links {e from} it are
+      broken and must be rebuilt (the new schedule's exits may differ).
+
+    A [follow] therefore never yields a stale or evicted translation.
+
+    {2 Telemetry}
+
+    Every operation updates the store's {!Telemetry.t}: hits, misses,
+    evictions, flushes, chain installs/breaks/follows, and the peak
+    resident instruction count. *)
+
+type 'a t
+
+val create : ?capacity:int -> policy:Policy.t -> unit -> 'a t
+(** [capacity] is the resident-instruction bound; it is ignored by
+    [Unbounded] and defaults to unlimited for the other policies.
+    Raises [Invalid_argument] on a non-positive capacity. *)
+
+val policy : 'a t -> Policy.t
+val capacity : 'a t -> int option
+val telemetry : 'a t -> Telemetry.t
+
+val resident_instrs : 'a t -> int
+(** Current resident size in scheduled-region instructions. *)
+
+val length : 'a t -> int
+(** Number of resident translations. *)
+
+val mem : 'a t -> string -> bool
+(** Membership test; does not touch telemetry or recency. *)
+
+val find : 'a t -> string -> 'a option
+(** A dispatch lookup: counts a hit or a miss, and marks the entry as
+    most recently used. *)
+
+val insert : 'a t -> string -> size:int -> 'a -> unit
+(** Cache a translation, evicting per policy until it fits.  Replaces
+    (and unchains) any previous translation under the same label.  A
+    region larger than the whole capacity is rejected — counted in
+    [rejections] — leaving the label uncached. *)
+
+val replace : 'a t -> string -> size:int -> unit
+(** Re-optimization: the caller has rewritten the cached value in
+    place; [replace] re-accounts it at [size] instructions.  Chains
+    into the label survive (the entry is the same translation slot);
+    chains out of it are broken and must be rebuilt, because the new
+    schedule's exits may differ.  The entry is touched (it is being
+    re-optimized because it is hot), and other entries are evicted per
+    policy if the new size overflows the capacity.  If the new size
+    alone exceeds the capacity the entry is dropped entirely (counted
+    as a rejection).  No-op if the label is not resident. *)
+
+val invalidate : 'a t -> string -> unit
+(** Drop one translation (e.g. self-modifying guest code), breaking
+    its chains.  No-op if absent. *)
+
+val flush : 'a t -> unit
+(** Drop every translation and chain link. *)
+
+val chain : 'a t -> from:string -> exit:string -> unit
+(** Record that the translation at [from] exits to the translation at
+    [exit], so the dispatch can skip the lookup next time.  A no-op
+    unless both labels are resident; installing the same link twice is
+    a no-op. *)
+
+val follow : 'a t -> from:string -> exit:string -> 'a option
+(** The chained dispatch fast path: the translation at [exit] if a
+    chain link [from -> exit] is installed.  Counts a chain-follow and
+    touches the target's recency (a followed region is a used
+    region). *)
+
+val iter : 'a t -> (string -> 'a -> unit) -> unit
+(** Iterate resident translations in unspecified order. *)

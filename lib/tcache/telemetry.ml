@@ -1,0 +1,48 @@
+type t = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+  mutable flushes : int;
+  mutable invalidations : int;
+  mutable rejections : int;
+  mutable chains_installed : int;
+  mutable chains_broken : int;
+  mutable chain_follows : int;
+  mutable peak_resident_instrs : int;
+}
+
+let create () =
+  {
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+    flushes = 0;
+    invalidations = 0;
+    rejections = 0;
+    chains_installed = 0;
+    chains_broken = 0;
+    chain_follows = 0;
+    peak_resident_instrs = 0;
+  }
+
+let fields t =
+  [
+    ("hits", t.hits);
+    ("misses", t.misses);
+    ("insertions", t.insertions);
+    ("evictions", t.evictions);
+    ("flushes", t.flushes);
+    ("invalidations", t.invalidations);
+    ("rejections", t.rejections);
+    ("chains_installed", t.chains_installed);
+    ("chains_broken", t.chains_broken);
+    ("chain_follows", t.chain_follows);
+    ("peak_resident_instrs", t.peak_resident_instrs);
+  ]
+
+let pp ppf t =
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  %-26s %d@." name v)
+    (fields t)

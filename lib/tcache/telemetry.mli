@@ -1,0 +1,26 @@
+(** Counters describing a translation cache's life: the raw material
+    for cache-sizing decisions and the bench harness's JSON output. *)
+
+type t = {
+  mutable hits : int;  (** lookups that found a resident translation *)
+  mutable misses : int;  (** lookups that fell through to the interpreter *)
+  mutable insertions : int;
+  mutable evictions : int;  (** single-entry evictions under Lru/Fifo *)
+  mutable flushes : int;  (** whole-cache drops (Flush_all or explicit) *)
+  mutable invalidations : int;  (** explicit single-label invalidations *)
+  mutable rejections : int;
+      (** regions larger than the whole capacity, never cached *)
+  mutable chains_installed : int;
+  mutable chains_broken : int;
+  mutable chain_follows : int;
+      (** dispatches that skipped the lookup via a chain link *)
+  mutable peak_resident_instrs : int;
+      (** high-water mark of resident scheduled instructions *)
+}
+
+val create : unit -> t
+
+val fields : t -> (string * int) list
+(** Stable (name, value) pairs, for JSON or tabular emission. *)
+
+val pp : Format.formatter -> t -> unit

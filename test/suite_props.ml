@@ -208,6 +208,64 @@ let prop_naive_window_dominates (seed, params) =
     <= naive.Opt.Optimizer.region.Ir.Region.ar_window
   | _ -> true  (* fallbacks have no meaningful window to compare *)
 
+(* Translation cache: under any bounded policy, no sequence of
+   operations ever leaves more resident instructions than the capacity,
+   and the accounting always equals the sum of resident sizes. *)
+let tcache_ops_arb =
+  let open QCheck.Gen in
+  let key = map (fun i -> Printf.sprintf "r%d" i) (int_bound 7) in
+  let op =
+    frequency
+      [
+        (5, map2 (fun k s -> `Insert (k, s)) key (int_range 1 40));
+        (3, map (fun k -> `Find k) key);
+        (1, map (fun k -> `Invalidate k) key);
+        (2, map2 (fun a b -> `Chain (a, b)) key key);
+        (2, map2 (fun a b -> `Follow (a, b)) key key);
+        (2, map2 (fun k s -> `Replace (k, s)) key (int_range 1 40));
+        (1, return `Flush);
+      ]
+  in
+  QCheck.make
+    ~print:(fun (cap, pol, ops) ->
+      Printf.sprintf "cap=%d policy=%d ops=%d" cap pol (List.length ops))
+    (triple (int_range 20 100) (int_bound 2) (list_size (int_range 1 120) op))
+
+let prop_tcache_capacity_never_exceeded (capacity, pol_idx, ops) =
+  let module P = Smarq.Tcache.Policy in
+  let module S = Smarq.Tcache.Store in
+  let policy = [| P.Lru; P.Fifo; P.Flush_all |].(pol_idx) in
+  let c : int S.t = S.create ~capacity ~policy () in
+  (* shadow model: the last size given for each label; the store's
+     accounting must equal the sum over the labels still resident *)
+  let sizes : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let check_invariants () =
+    let sum =
+      Hashtbl.fold
+        (fun k s acc -> if S.mem c k then acc + s else acc)
+        sizes 0
+    in
+    S.resident_instrs c <= capacity
+    && S.resident_instrs c = sum
+    && (S.telemetry c).Smarq.Tcache.Telemetry.peak_resident_instrs <= capacity
+  in
+  List.for_all
+    (fun op ->
+      (match op with
+      | `Insert (k, s) ->
+        S.insert c k ~size:s s;
+        Hashtbl.replace sizes k s
+      | `Find k -> ignore (S.find c k)
+      | `Invalidate k -> S.invalidate c k
+      | `Chain (a, b) -> S.chain c ~from:a ~exit:b
+      | `Follow (a, b) -> ignore (S.follow c ~from:a ~exit:b)
+      | `Replace (k, s) ->
+        if S.mem c k then Hashtbl.replace sizes k s;
+        S.replace c k ~size:s
+      | `Flush -> S.flush c);
+      check_invariants ())
+    ops
+
 let suite =
   ( "properties",
     [
@@ -228,4 +286,6 @@ let suite =
         prop_binary_roundtrip;
       qcase ~count:40 "SMARQ window never exceeds program order" sb_arb
         prop_naive_window_dominates;
+      qcase ~count:300 "tcache capacity never exceeded" tcache_ops_arb
+        prop_tcache_capacity_never_exceeded;
     ] )

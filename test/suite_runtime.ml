@@ -123,6 +123,72 @@ let test_alat_pinning_terminates () =
   Alcotest.(check int) "SMARQ has no false positive here" 0
     r2.Runtime.Driver.stats.Runtime.Stats.rollbacks
 
+(* The rmw pattern is a persistent ALAT false positive: the same
+   (setter, checker) pair violates on every execution until the runtime
+   escalates from known-alias ordering to pinning both operations out
+   of speculation entirely. *)
+let rmw_program ~iters =
+  let bld = Workload.Builder.create () in
+  let regs =
+    Workload.Kernels.{ a = r 1; b = r 2; c = r 3; idx = r 4 }
+  in
+  Workload.Builder.straight bld "init"
+    (Workload.Builder.instrs bld
+       [
+         I.Mov (regs.Workload.Kernels.a, I.Imm 0x1000);
+         I.Mov (regs.Workload.Kernels.b, I.Imm 0x2000);
+         I.Mov (regs.Workload.Kernels.c, I.Imm 0x3000);
+         I.Mov (regs.Workload.Kernels.idx, I.Imm iters);
+       ])
+    ~next:"loop";
+  let body = Workload.Kernels.rmw bld regs ~width:8 ~updates:2 () in
+  Workload.Builder.loop_back bld "loop" body
+    ~counter:regs.Workload.Kernels.idx ~back_to:"loop" ~exit_to:"end"
+    ~iters;
+  Workload.Builder.add_block bld "end" [] Ir.Block.Halt;
+  Workload.Builder.program bld ~entry:"init"
+
+let test_same_pair_twice_pins () =
+  let program = rmw_program ~iters:300 in
+  let ref_m = reference program in
+  let r = run_scheme Smarq.Scheme.Alat program in
+  let st = r.Runtime.Driver.stats in
+  (* first violation learns the pair; the second (same pair — an ALAT
+     false positive survives the ordering constraint) pins both ops *)
+  Alcotest.(check bool) "same pair violated twice" true
+    (st.Runtime.Stats.rollbacks >= 2);
+  Alcotest.(check bool) "both ops pinned" true
+    (st.Runtime.Stats.pinned_ops >= 2);
+  Alcotest.(check bool) "pinning converges" true
+    (st.Runtime.Stats.rollbacks <= 12);
+  Alcotest.(check bool) "state correct" true
+    (Vliw.Machine.equal_guest_state ref_m r.Runtime.Driver.machine);
+  (* SMARQ never faults here, so it must never pin either *)
+  let r2 = run_scheme (Smarq.Scheme.Smarq 64) program in
+  Alcotest.(check int) "SMARQ pins nothing" 0
+    r2.Runtime.Driver.stats.Runtime.Stats.pinned_ops
+
+let test_max_reopts_gives_up () =
+  let program = colliding_loop ~iters:400 in
+  let ref_m = reference program in
+  let r =
+    Runtime.Driver.run
+      ~config:(Vliw.Config.with_alias_registers Vliw.Config.default 64)
+      ~max_reopts:0 ~fuel:10_000_000
+      ~scheme:(Runtime.Driver.scheme_smarq ~ar_count:64 ())
+      program
+  in
+  let st = r.Runtime.Driver.stats in
+  Alcotest.(check int) "gave-up region counted" 1
+    st.Runtime.Stats.gave_up_regions;
+  (* the very first violation exceeds the budget; the unspeculated
+     rebuild can never fault again *)
+  Alcotest.(check int) "exactly one rollback" 1 st.Runtime.Stats.rollbacks;
+  Alcotest.(check bool) "still runs as a region" true
+    (st.Runtime.Stats.region_entries > 300);
+  Alcotest.(check bool) "state correct" true
+    (Vliw.Machine.equal_guest_state ref_m r.Runtime.Driver.machine)
+
 let test_stats_accounting () =
   let program = colliding_loop ~iters:300 in
   let r = run_scheme (Smarq.Scheme.Smarq 64) program in
@@ -166,6 +232,10 @@ let suite =
       case "speculation beats baseline" test_speedup_ordering;
       case "ALAT false positives converge by pinning"
         test_alat_pinning_terminates;
+      case "re-opt ladder: same pair twice pins both ops"
+        test_same_pair_twice_pins;
+      case "re-opt ladder: exceeding max_reopts gives up speculation"
+        test_max_reopts_gives_up;
       case "statistics accounting" test_stats_accounting;
       case "benchmark suite equivalence (smarq64)"
         test_suite_benchmarks_equivalent;

@@ -19,6 +19,7 @@ let () =
       Suite_hazards.suite;
       Suite_binary.suite;
       Suite_stats.suite;
+      Suite_tcache.suite;
       Suite_props.suite;
       Suite_runtime.suite;
     ]
