@@ -1,16 +1,28 @@
 (* Experiment harness: regenerates every table and figure of the
    paper's evaluation (Section 6).  Run with no arguments for the full
    set, or with a subset of: table1 table2 fig14 fig15 fig16 fig17
-   fig18 fig19 micro.
+   fig18 fig19 micro.  `-j N` bounds the worker domains used to fan the
+   benchmark × scheme matrix out in parallel (default: all cores);
+   simulated results are identical for every N.
 
    Absolute numbers come from our synthetic workloads and VLIW timing
    model; the claims under test are the paper's *shapes*: which scheme
    wins, by roughly what factor, and where the costs sit.  Paper
    reference values are printed beside every measured series; see
-   EXPERIMENTS.md for the recorded comparison. *)
+   EXPERIMENTS.md for the recorded comparison.
 
-let fig15_scale = 40
-let fig18_scale = 400
+   Every experiment's wall clock is appended to bench_timings.json (and
+   echoed as a JSON line) so runner/simulator speed regressions are
+   measurable run over run. *)
+
+(* BENCH_SCALE overrides the fig15-family workload scale — CI smoke
+   runs set it low; the figures themselves need the defaults. *)
+let fig15_scale =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 40)
+  | None -> 40
+
+let fig18_scale = 10 * fig15_scale
 let fig18_benchmarks = [ "wupwise"; "mesa"; "ammp" ]
 
 let hr title =
@@ -19,13 +31,45 @@ let hr title =
 let schemes_fig15 =
   [ Smarq.Scheme.Smarq 64; Smarq.Scheme.Smarq 16; Smarq.Scheme.Alat ]
 
-let run_bench ?(scale = fig15_scale) scheme (b : Workload.Specfp.bench) =
-  let program = Workload.Specfp.program ~scale b in
-  Smarq.run_program ~fuel:1_000_000_000 ~scheme program
+(* per-experiment accounting, folded into bench_timings.json *)
+let jobs_this_experiment = ref 0
+let sim_seconds_this_experiment = ref 0.0
+
+let run_matrix ~domains jobs =
+  jobs_this_experiment := !jobs_this_experiment + List.length jobs;
+  let outcomes = Exec.Matrix.run_matrix ~domains jobs in
+  sim_seconds_this_experiment :=
+    !sim_seconds_this_experiment +. Exec.Matrix.total_wall outcomes;
+  outcomes
+
+let stats_of (o : Exec.Matrix.outcome) = o.Exec.Matrix.result.Runtime.Driver.stats
+
+let rec chunk n = function
+  | [] -> []
+  | l ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let group, rest = take n [] l in
+    group :: chunk n rest
+
+let suite_matrix ~domains ?config ?(scale = fig15_scale) schemes =
+  let jobs =
+    List.concat_map
+      (fun (b : Workload.Specfp.bench) ->
+        List.map
+          (fun scheme -> Exec.Matrix.of_bench ?config ~scale ~scheme b)
+          schemes)
+      Workload.Specfp.suite
+  in
+  chunk (List.length schemes) (run_matrix ~domains jobs)
+  |> List.map2 (fun b row -> (b, row)) Workload.Specfp.suite
 
 (* ---- Table 1: qualitative comparison of HW alias detection ---- *)
 
-let table1 () =
+let table1 ~domains:_ =
   hr "Table 1: comparison between HW alias detection schemes";
   let detectors =
     [
@@ -52,24 +96,24 @@ let table1 () =
 
 (* ---- Table 2: VLIW architecture parameters ---- *)
 
-let table2 () =
+let table2 ~domains:_ =
   hr "Table 2: VLIW architecture parameters";
   Format.printf "%a@." Vliw.Config.pp Vliw.Config.default
 
 (* ---- Figure 14: memory operations per superblock ---- *)
 
-let fig14 () =
+let fig14 ~domains =
   hr "Figure 14: average memory operations per superblock";
   Printf.printf "%-10s %s\n" "benchmark" "mem ops / superblock";
+  let rows = suite_matrix ~domains ~scale:1 [ Smarq.Scheme.Smarq 64 ] in
   let total = ref 0.0 and n = ref 0 in
   List.iter
-    (fun (b : Workload.Specfp.bench) ->
-      let r = run_bench ~scale:1 (Smarq.Scheme.Smarq 64) b in
-      let v = Runtime.Stats.mem_ops_per_superblock r.Runtime.Driver.stats in
+    (fun ((b : Workload.Specfp.bench), row) ->
+      let v = Runtime.Stats.mem_ops_per_superblock (stats_of (List.hd row)) in
       total := !total +. v;
       incr n;
       Printf.printf "%-10s %6.1f\n" b.Workload.Specfp.name v)
-    Workload.Specfp.suite;
+    rows;
   Printf.printf "%-10s %6.1f\n" "average" (!total /. float_of_int !n);
   Printf.printf
     "paper: tens of memory operations per superblock, with ammp the\n\
@@ -77,33 +121,28 @@ let fig14 () =
 
 (* ---- Figure 15: speedups of the three schemes over no detection ---- *)
 
-let speedup_row b =
-  let baseline = run_bench Smarq.Scheme.None_ b in
-  let base = baseline.Runtime.Driver.stats.Runtime.Stats.total_cycles in
-  List.map
-    (fun s ->
-      let r = run_bench s b in
-      ( Smarq.Scheme.name s,
-        float_of_int base
-        /. float_of_int r.Runtime.Driver.stats.Runtime.Stats.total_cycles ))
-    schemes_fig15
-
-let fig15 () =
+let fig15 ~domains =
   hr "Figure 15: speedup with different alias detection (vs none)";
   Printf.printf "%-10s %9s %9s %9s\n" "benchmark" "SMARQ" "SMARQ16" "Itanium";
+  let rows = suite_matrix ~domains (Smarq.Scheme.None_ :: schemes_fig15) in
   let sums = Array.make 3 0.0 in
   let n = ref 0 in
   List.iter
-    (fun (b : Workload.Specfp.bench) ->
-      let row = speedup_row b in
-      incr n;
-      List.iteri (fun i (_, v) -> sums.(i) <- sums.(i) +. log v) row;
-      match row with
-      | [ (_, a); (_, b16); (_, c) ] ->
-        Printf.printf "%-10s %9.3f %9.3f %9.3f\n" b.Workload.Specfp.name a b16
-          c
-      | _ -> ())
-    Workload.Specfp.suite;
+    (fun ((b : Workload.Specfp.bench), row) ->
+      match List.map (fun o -> (stats_of o).Runtime.Stats.total_cycles) row with
+      | base :: rest ->
+        let speedups =
+          List.map (fun c -> float_of_int base /. float_of_int c) rest
+        in
+        incr n;
+        List.iteri (fun i v -> sums.(i) <- sums.(i) +. log v) speedups;
+        (match speedups with
+        | [ a; b16; c ] ->
+          Printf.printf "%-10s %9.3f %9.3f %9.3f\n" b.Workload.Specfp.name a
+            b16 c
+        | _ -> ())
+      | [] -> ())
+    rows;
   let geo i = exp (sums.(i) /. float_of_int !n) in
   Printf.printf "%-10s %9.3f %9.3f %9.3f\n" "average" (geo 0) (geo 1) (geo 2);
   Printf.printf
@@ -112,23 +151,26 @@ let fig15 () =
 
 (* ---- Figure 16: impact of disabling store reordering ---- *)
 
-let fig16 () =
+let fig16 ~domains =
   hr "Figure 16: impact of disabling store reordering (SMARQ64)";
   Printf.printf "%-10s %10s %12s %9s\n" "benchmark" "with (cyc)"
     "without (cyc)" "impact";
+  let rows =
+    suite_matrix ~domains
+      [ Smarq.Scheme.Smarq 64; Smarq.Scheme.Smarq_no_store_reorder 64 ]
+  in
   let sum = ref 0.0 and n = ref 0 in
   List.iter
-    (fun (b : Workload.Specfp.bench) ->
-      let w = run_bench (Smarq.Scheme.Smarq 64) b in
-      let wo = run_bench (Smarq.Scheme.Smarq_no_store_reorder 64) b in
-      let c1 = w.Runtime.Driver.stats.Runtime.Stats.total_cycles in
-      let c2 = wo.Runtime.Driver.stats.Runtime.Stats.total_cycles in
-      let impact = (100.0 *. float_of_int c2 /. float_of_int c1) -. 100.0 in
-      sum := !sum +. impact;
-      incr n;
-      Printf.printf "%-10s %10d %12d %+8.1f%%\n" b.Workload.Specfp.name c1 c2
-        impact)
-    Workload.Specfp.suite;
+    (fun ((b : Workload.Specfp.bench), row) ->
+      match List.map (fun o -> (stats_of o).Runtime.Stats.total_cycles) row with
+      | [ c1; c2 ] ->
+        let impact = (100.0 *. float_of_int c2 /. float_of_int c1) -. 100.0 in
+        sum := !sum +. impact;
+        incr n;
+        Printf.printf "%-10s %10d %12d %+8.1f%%\n" b.Workload.Specfp.name c1 c2
+          impact
+      | _ -> ())
+    rows;
   Printf.printf "%-10s %10s %12s %+8.1f%%\n" "average" "" ""
     (!sum /. float_of_int !n);
   Printf.printf
@@ -137,15 +179,15 @@ let fig16 () =
 
 (* ---- Figure 17: alias register working set ---- *)
 
-let fig17 () =
+let fig17 ~domains =
   hr "Figure 17: alias register working set (normalized to #mem ops)";
   Printf.printf "%-10s %8s %8s %12s\n" "benchmark" "P-bits" "SMARQ"
     "lower bound";
+  let rows = suite_matrix ~domains ~scale:1 [ Smarq.Scheme.Smarq 64 ] in
   let acc = ref Sched.Working_set.zero in
   List.iter
-    (fun (b : Workload.Specfp.bench) ->
-      let r = run_bench ~scale:1 (Smarq.Scheme.Smarq 64) b in
-      let ws = r.Runtime.Driver.stats.Runtime.Stats.working_set in
+    (fun ((b : Workload.Specfp.bench), row) ->
+      let ws = (stats_of (List.hd row)).Runtime.Stats.working_set in
       acc := Sched.Working_set.add !acc ws;
       let norm v =
         float_of_int v
@@ -155,7 +197,7 @@ let fig17 () =
         (norm ws.Sched.Working_set.p_bit_order)
         (norm ws.Sched.Working_set.smarq)
         (norm ws.Sched.Working_set.lower_bound))
-    Workload.Specfp.suite;
+    rows;
   let ws = !acc in
   let norm v =
     float_of_int v /. float_of_int (max 1 ws.Sched.Working_set.program_order)
@@ -171,23 +213,27 @@ let fig17 () =
 
 (* ---- Figure 18: optimization overhead ---- *)
 
-let fig18 () =
+let fig18 ~domains =
   hr "Figure 18: optimization overhead (% of execution time)";
   Printf.printf "%-10s %14s %14s\n" "benchmark" "optimization" "scheduling";
+  let outcomes =
+    run_matrix ~domains
+      (List.map
+         (fun name ->
+           Exec.Matrix.of_bench ~scale:fig18_scale
+             ~scheme:(Smarq.Scheme.Smarq 64) (Workload.Specfp.find name))
+         fig18_benchmarks)
+  in
   let s1 = ref 0.0 and s2 = ref 0.0 and n = ref 0 in
-  List.iter
-    (fun name ->
-      let b = Workload.Specfp.find name in
-      let r = run_bench ~scale:fig18_scale (Smarq.Scheme.Smarq 64) b in
-      let opt, sched =
-        Runtime.Stats.optimize_fraction r.Runtime.Driver.stats
-      in
+  List.iter2
+    (fun name o ->
+      let opt, sched = Runtime.Stats.optimize_fraction (stats_of o) in
       s1 := !s1 +. opt;
       s2 := !s2 +. sched;
       incr n;
       Printf.printf "%-10s %13.3f%% %13.3f%%\n" name (100.0 *. opt)
         (100.0 *. sched))
-    fig18_benchmarks;
+    fig18_benchmarks outcomes;
   Printf.printf "%-10s %13.3f%% %13.3f%%\n" "average"
     (100.0 *. !s1 /. float_of_int !n)
     (100.0 *. !s2 /. float_of_int !n);
@@ -199,15 +245,15 @@ let fig18 () =
 
 (* ---- Figure 19: constraint and AMOV statistics ---- *)
 
-let fig19 () =
+let fig19 ~domains =
   hr "Figure 19: constraints per memory operation";
   Printf.printf "%-10s %8s %8s %9s %9s\n" "benchmark" "check" "anti"
     "amov(new)" "amov(clr)";
+  let rows = suite_matrix ~domains ~scale:1 [ Smarq.Scheme.Smarq 64 ] in
   let tc = ref 0 and ta = ref 0 and tm = ref 0 and tf = ref 0 and tk = ref 0 in
   List.iter
-    (fun (b : Workload.Specfp.bench) ->
-      let r = run_bench ~scale:1 (Smarq.Scheme.Smarq 64) b in
-      let st = r.Runtime.Driver.stats in
+    (fun ((b : Workload.Specfp.bench), row) ->
+      let st = stats_of (List.hd row) in
       let chk, anti = Runtime.Stats.constraints_per_mem_op st in
       tc := !tc + st.Runtime.Stats.check_constraints;
       ta := !ta + st.Runtime.Stats.anti_constraints;
@@ -216,7 +262,7 @@ let fig19 () =
       tk := !tk + st.Runtime.Stats.amov_clear;
       Printf.printf "%-10s %8.2f %8.2f %9d %9d\n" b.Workload.Specfp.name chk
         anti st.Runtime.Stats.amov_fresh st.Runtime.Stats.amov_clear)
-    Workload.Specfp.suite;
+    rows;
   Printf.printf "%-10s %8.2f %8.2f %9d %9d\n" "average"
     (float_of_int !tc /. float_of_int (max 1 !tm))
     (float_of_int !ta /. float_of_int (max 1 !tm))
@@ -229,7 +275,7 @@ let fig19 () =
 (* ---- Bechamel microbenchmarks: optimizer cost, supporting the
    "fast algorithm" claim behind Figure 18 ---- *)
 
-let micro () =
+let micro ~domains:_ =
   hr "Microbenchmarks: scheduling + allocation cost (host time)";
   let make_superblock n_mem =
     let params =
@@ -296,85 +342,81 @@ let micro () =
 (* ---- Ablation: SMARQ vs program-order allocation (Section 2.4/2.5)
    on identical ordered-queue hardware ---- *)
 
-let ablation () =
+let ablation ~domains =
   hr "Ablation: SMARQ vs straightforward program-order allocation";
-  Printf.printf "%-10s %12s %12s %10s %10s %8s %8s
-" "benchmark" "smarq cyc"
+  Printf.printf "%-10s %12s %12s %10s %10s %8s %8s\n" "benchmark" "smarq cyc"
     "naive cyc" "smarq chk" "naive chk" "ws(s)" "ws(n)";
+  let rows =
+    suite_matrix ~domains ~scale:4
+      [ Smarq.Scheme.Smarq 64; Smarq.Scheme.Naive_order 64 ]
+  in
   List.iter
-    (fun (b : Workload.Specfp.bench) ->
-      let s = run_bench ~scale:4 (Smarq.Scheme.Smarq 64) b in
-      let n = run_bench ~scale:4 (Smarq.Scheme.Naive_order 64) b in
-      let ss = s.Runtime.Driver.stats and ns = n.Runtime.Driver.stats in
-      Printf.printf "%-10s %12d %12d %10d %10d %8d %8d
-"
-        b.Workload.Specfp.name ss.Runtime.Stats.total_cycles
-        ns.Runtime.Stats.total_cycles ss.Runtime.Stats.alias_checks
-        ns.Runtime.Stats.alias_checks
-        ss.Runtime.Stats.working_set.Sched.Working_set.smarq
-        ns.Runtime.Stats.working_set.Sched.Working_set.smarq)
-    Workload.Specfp.suite;
+    (fun ((b : Workload.Specfp.bench), row) ->
+      match List.map stats_of row with
+      | [ ss; ns ] ->
+        Printf.printf "%-10s %12d %12d %10d %10d %8d %8d\n"
+          b.Workload.Specfp.name ss.Runtime.Stats.total_cycles
+          ns.Runtime.Stats.total_cycles ss.Runtime.Stats.alias_checks
+          ns.Runtime.Stats.alias_checks
+          ss.Runtime.Stats.working_set.Sched.Working_set.smarq
+          ns.Runtime.Stats.working_set.Sched.Working_set.smarq
+      | _ -> ())
+    rows;
   Printf.printf
-    "paper (Sections 2.4-2.5): program-order allocation wastes alias
-     registers (larger working set), performs unnecessary checks (the
-     energy argument), and cannot support load/store elimination at
-     all -- SMARQ's constraint-order allocation fixes all three on the
-     same hardware.
-"
+    "paper (Sections 2.4-2.5): program-order allocation wastes alias\n\
+    \     registers (larger working set), performs unnecessary checks (the\n\
+    \     energy argument), and cannot support load/store elimination at\n\
+    \     all -- SMARQ's constraint-order allocation fixes all three on the\n\
+    \     same hardware.\n"
 
 (* ---- Robustness: the Figure 15 ordering with a real memory
    hierarchy instead of a flat load latency ---- *)
 
-let cache_exp () =
+let cache_exp ~domains =
   hr "Robustness: scheme ordering with the cache hierarchy enabled";
   let config =
     Vliw.Config.with_cache Vliw.Config.default
       (Some Vliw.Cache.default_config)
   in
-  Printf.printf "%-10s %9s %9s %9s
-" "benchmark" "SMARQ" "SMARQ16" "Itanium";
+  Printf.printf "%-10s %9s %9s %9s\n" "benchmark" "SMARQ" "SMARQ16" "Itanium";
+  let rows =
+    suite_matrix ~domains ~config ~scale:10
+      (Smarq.Scheme.None_ :: schemes_fig15)
+  in
   let sums = Array.make 3 0.0 in
   let n = ref 0 in
   List.iter
-    (fun (b : Workload.Specfp.bench) ->
-      let program = Workload.Specfp.program ~scale:10 b in
-      let base =
-        (Smarq.run_program ~config ~fuel:1_000_000_000
-           ~scheme:Smarq.Scheme.None_ program).Runtime.Driver.stats
-          .Runtime.Stats.total_cycles
-      in
-      incr n;
-      Printf.printf "%-10s" b.Workload.Specfp.name;
-      List.iteri
-        (fun i s ->
-          let c =
-            (Smarq.run_program ~config ~fuel:1_000_000_000 ~scheme:s program)
-              .Runtime.Driver.stats.Runtime.Stats.total_cycles
-          in
-          let sp = float_of_int base /. float_of_int c in
-          sums.(i) <- sums.(i) +. log sp;
-          Printf.printf " %9.3f" sp)
-        schemes_fig15;
-      print_newline ())
-    Workload.Specfp.suite;
+    (fun ((b : Workload.Specfp.bench), row) ->
+      match List.map (fun o -> (stats_of o).Runtime.Stats.total_cycles) row with
+      | base :: rest ->
+        incr n;
+        Printf.printf "%-10s" b.Workload.Specfp.name;
+        List.iteri
+          (fun i c ->
+            let sp = float_of_int base /. float_of_int c in
+            sums.(i) <- sums.(i) +. log sp;
+            Printf.printf " %9.3f" sp)
+          rest;
+        print_newline ()
+      | [] -> ())
+    rows;
   Printf.printf "%-10s" "average";
   Array.iter (fun s -> Printf.printf " %9.3f" (exp (s /. float_of_int !n))) sums;
   print_newline ();
   Printf.printf
-    "miss stalls shrink every speedup (latency hiding matters less when
-     the machine stalls on misses anyway) but the ordering of the three
-     schemes must survive -- the paper's conclusion is not an artifact
-     of perfect memory.
-"
+    "miss stalls shrink every speedup (latency hiding matters less when\n\
+    \     the machine stalls on misses anyway) but the ordering of the three\n\
+    \     schemes must survive -- the paper's conclusion is not an artifact\n\
+    \     of perfect memory.\n"
 
 (* ---- Ablation: how far does static analysis get without hardware?
    (the related-work [13] question) ---- *)
 
-let static_exp () =
+let static_exp ~domains =
   hr "Ablation: static constant-base disambiguation without hardware";
   (* a direct-addressing-heavy workload where a fast static analysis
      has something to find *)
-  let make ~iters =
+  let make ~iters () =
     let bld = Workload.Builder.create () in
     let regs =
       Workload.Kernels.
@@ -401,70 +443,81 @@ let static_exp () =
     Workload.Builder.add_block bld "done" [] Ir.Block.Halt;
     Workload.Builder.program bld ~entry:"init"
   in
-  let program = make ~iters:8000 in
-  Printf.printf "%-14s %12s %9s
-" "scheme" "cycles" "speedup";
+  let schemes =
+    [ Smarq.Scheme.None_; Smarq.Scheme.None_static; Smarq.Scheme.Smarq 64 ]
+  in
+  let outcomes =
+    run_matrix ~domains
+      (List.map
+         (fun s ->
+           Exec.Matrix.job ~scheme:s
+             ~label:(Printf.sprintf "static/%s" (Smarq.Scheme.name s))
+             (make ~iters:8000))
+         schemes)
+  in
+  Printf.printf "%-14s %12s %9s\n" "scheme" "cycles" "speedup";
   let base = ref 0 in
-  List.iter
-    (fun s ->
-      let r = Smarq.run_program ~fuel:1_000_000_000 ~scheme:s program in
-      let c = r.Runtime.Driver.stats.Runtime.Stats.total_cycles in
+  List.iter2
+    (fun s o ->
+      let c = (stats_of o).Runtime.Stats.total_cycles in
       if s = Smarq.Scheme.None_ then base := c;
-      Printf.printf "%-14s %12d %9.3f
-" (Smarq.Scheme.name s) c
+      Printf.printf "%-14s %12d %9.3f\n" (Smarq.Scheme.name s) c
         (if !base = 0 then 1.0 else float_of_int !base /. float_of_int c))
-    [ Smarq.Scheme.None_; Smarq.Scheme.None_static; Smarq.Scheme.Smarq 64 ];
+    schemes outcomes;
   Printf.printf
-    "paper (Section 7, its [13]/[14]): fast binary-level alias analysis
-     resolves only direct accesses; it recovers part of the gap on this
-     direct-heavy kernel, but hardware detection is still needed for
-     the dynamic (base-register) majority.
-"
+    "paper (Section 7, its [13]/[14]): fast binary-level alias analysis\n\
+    \     resolves only direct accesses; it recovers part of the gap on this\n\
+    \     direct-heavy kernel, but hardware detection is still needed for\n\
+    \     the dynamic (base-register) majority.\n"
 
 (* ---- Extension: larger regions via loop unrolling (the conclusion's
    "SMARQ is even more promising for larger region and loop level
    optimizations") ---- *)
 
-let unroll_exp () =
+let unroll_exp ~domains =
   hr "Extension: loop unrolling widens the register-count gap";
-  Printf.printf "%-10s %7s %12s %12s %9s %8s
-" "benchmark" "unroll"
+  Printf.printf "%-10s %7s %12s %12s %9s %8s\n" "benchmark" "unroll"
     "smarq64 cyc" "smarq16 cyc" "gap" "nonspec16";
-  List.iter
-    (fun name ->
-      List.iter
-        (fun unroll ->
-          let b = Workload.Specfp.find name in
-          let prog = Workload.Specfp.program ~scale:30 b in
-          let region scheme =
-            let st =
-              (Smarq.run_program ~fuel:1_000_000_000 ~unroll ~scheme prog)
-                .Runtime.Driver.stats
-            in
-            (st.Runtime.Stats.region_cycles,
-             st.Runtime.Stats.nonspec_mode_regions)
-          in
-          let c64, _ = region (Smarq.Scheme.Smarq 64) in
-          let c16, ns16 = region (Smarq.Scheme.Smarq 16) in
-          Printf.printf "%-10s %7d %12d %12d %+8.1f%% %8d
-" name unroll c64
-            c16
-            (100.0 *. ((float_of_int c16 /. float_of_int c64) -. 1.0))
-            ns16)
-        [ 1; 2; 3 ])
-    [ "wupwise"; "swim" ];
+  let cells =
+    List.concat_map
+      (fun name ->
+        List.map (fun unroll -> (name, unroll)) [ 1; 2; 3 ])
+      [ "wupwise"; "swim" ]
+  in
+  let jobs =
+    List.concat_map
+      (fun (name, unroll) ->
+        List.map
+          (fun scheme ->
+            Exec.Matrix.of_bench ~unroll ~scale:30 ~scheme
+              (Workload.Specfp.find name))
+          [ Smarq.Scheme.Smarq 64; Smarq.Scheme.Smarq 16 ])
+      cells
+  in
+  List.iter2
+    (fun (name, unroll) row ->
+      match List.map stats_of row with
+      | [ s64; s16 ] ->
+        let c64 = s64.Runtime.Stats.region_cycles in
+        let c16 = s16.Runtime.Stats.region_cycles in
+        let ns16 = s16.Runtime.Stats.nonspec_mode_regions in
+        Printf.printf "%-10s %7d %12d %12d %+8.1f%% %8d\n" name unroll c64 c16
+          (100.0 *. ((float_of_int c16 /. float_of_int c64) -. 1.0))
+          ns16
+      | _ -> ())
+    cells
+    (chunk 2 (run_matrix ~domains jobs));
   Printf.printf
-    "larger regions schedule slightly better under 64 registers and
-     force the 16-register queue into non-speculation mode: the
-     scalability argument of Sections 2.2/6.1, extrapolated the way the
-     paper's conclusion suggests.
-"
+    "larger regions schedule slightly better under 64 registers and\n\
+    \     force the 16-register queue into non-speculation mode: the\n\
+    \     scalability argument of Sections 2.2/6.1, extrapolated the way the\n\
+    \     paper's conclusion suggests.\n"
 
 (* ---- Translation cache pressure: more hot regions than the cache
    can hold, so the eviction policy matters.  Emits one JSON object per
    policy for downstream tooling. ---- *)
 
-let tcache_pressure_program ~loops ~inner ~outer =
+let tcache_pressure_program ~loops ~inner ~outer () =
   let bld = Workload.Builder.create () in
   let module I = Ir.Instr in
   let a = Ir.Reg.R 1 and b = Ir.Reg.R 2 in
@@ -513,42 +566,52 @@ let tcache_pressure_program ~loops ~inner ~outer =
   Workload.Builder.add_block bld "done" [] Ir.Block.Halt;
   Workload.Builder.program bld ~entry:"init"
 
-let tcache_exp () =
+let tcache_exp ~domains =
   hr "Translation cache: eviction policies under region pressure (JSON)";
   let loops = 8 and inner = 80 and outer = 40 in
   let program = tcache_pressure_program ~loops ~inner ~outer in
-  let run ~policy ?capacity () =
-    (Smarq.run_program ~fuel:1_000_000_000 ~tcache_policy:policy ?tcache_capacity:capacity
-       ~scheme:(Smarq.Scheme.Smarq 64) program)
-      .Runtime.Driver.stats
-  in
-  (* size the bounded runs off the unbounded footprint: half the full
-     resident set forces evictions while any single region still fits *)
-  let unbounded = run ~policy:Smarq.Tcache.Policy.Unbounded () in
-  let capacity =
-    max 1 (unbounded.Runtime.Stats.tcache_peak_resident / 2)
+  let policy_job ~policy ?capacity () =
+    Exec.Matrix.job ~tcache_policy:policy ?tcache_capacity:capacity
+      ~scheme:(Smarq.Scheme.Smarq 64)
+      ~label:(Printf.sprintf "tcache/%s" (Smarq.Tcache.Policy.to_string policy))
+      program
   in
   let emit policy capacity (st : Runtime.Stats.t) =
     Printf.printf
       "{\"scenario\":\"tcache_pressure\",\"policy\":\"%s\",\"capacity\":%s,\
        \"hot_regions\":%d,\"total_cycles\":%d,\"regions_built\":%d,\
+       \"wall_s\":%.6f,\
        \"tcache\":{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"flushes\":%d,\
        \"chain_follows\":%d,\"peak_resident_instrs\":%d}}\n"
       (Smarq.Tcache.Policy.to_string policy)
       (match capacity with Some c -> string_of_int c | None -> "null")
       loops st.Runtime.Stats.total_cycles st.Runtime.Stats.regions_built
+      st.Runtime.Stats.wall_seconds
       st.Runtime.Stats.tcache_hits st.Runtime.Stats.tcache_misses
       st.Runtime.Stats.tcache_evictions st.Runtime.Stats.tcache_flushes
       st.Runtime.Stats.tcache_chain_follows
       st.Runtime.Stats.tcache_peak_resident
   in
+  (* size the bounded runs off the unbounded footprint: half the full
+     resident set forces evictions while any single region still fits *)
+  let unbounded =
+    match run_matrix ~domains [ policy_job ~policy:Smarq.Tcache.Policy.Unbounded () ] with
+    | [ o ] -> stats_of o
+    | _ -> assert false
+  in
+  let capacity = max 1 (unbounded.Runtime.Stats.tcache_peak_resident / 2) in
   emit Smarq.Tcache.Policy.Unbounded None unbounded;
-  List.iter
-    (fun policy ->
-      let st = run ~policy ~capacity () in
-      emit policy (Some capacity) st)
+  let bounded_policies =
     [ Smarq.Tcache.Policy.Lru; Smarq.Tcache.Policy.Fifo;
-      Smarq.Tcache.Policy.Flush_all ];
+      Smarq.Tcache.Policy.Flush_all ]
+  in
+  let bounded =
+    run_matrix ~domains
+      (List.map (fun policy -> policy_job ~policy ~capacity ()) bounded_policies)
+  in
+  List.iter2
+    (fun policy o -> emit policy (Some capacity) (stats_of o))
+    bounded_policies bounded;
   Printf.printf
     "the %d hot loops exceed the bounded capacity, so lru/fifo evict and\n\
      re-translate while flush-all drops everything on overflow; unbounded\n\
@@ -574,18 +637,54 @@ let experiments =
     ("micro", micro);
   ]
 
+let timings_path =
+  match Sys.getenv_opt "BENCH_TIMINGS" with
+  | Some p -> p
+  | None -> "bench_timings.json"
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  let rec parse names domains = function
+    | [] -> (List.rev names, domains)
+    | "-j" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some d when d >= 1 -> parse names d rest
+      | _ ->
+        Printf.eprintf "-j expects a positive integer, got %S\n" n;
+        exit 1)
+    | name :: rest -> parse (name :: names) domains rest
   in
+  let names, domains =
+    match Array.to_list Sys.argv with
+    | _ :: args -> parse [] (Exec.Pool.default_domains ()) args
+    | [] -> ([], Exec.Pool.default_domains ())
+  in
+  let requested = if names = [] then List.map fst experiments else names in
+  let timings = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some fn -> fn ()
+      | Some fn ->
+        jobs_this_experiment := 0;
+        sim_seconds_this_experiment := 0.0;
+        let t0 = Unix.gettimeofday () in
+        fn ~domains;
+        let wall = Unix.gettimeofday () -. t0 in
+        let line =
+          Printf.sprintf
+            "{\"experiment\":\"%s\",\"wall_s\":%.3f,\"sim_s\":%.3f,\
+             \"jobs\":%d,\"domains\":%d}"
+            name wall !sim_seconds_this_experiment !jobs_this_experiment
+            domains
+        in
+        print_endline line;
+        timings := line :: !timings
       | None ->
         Printf.eprintf "unknown experiment %s (have: %s)\n" name
           (String.concat " " (List.map fst experiments));
         exit 1)
-    requested
+    requested;
+  let oc = open_out timings_path in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev !timings));
+  output_string oc "\n]\n";
+  close_out oc

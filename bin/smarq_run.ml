@@ -115,10 +115,19 @@ let run_cmd =
       const run $ bench_arg $ scheme_arg $ scale_arg $ tcache_policy_arg
       $ tcache_capacity_arg)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the scheme matrix (default: all cores).  \
+     Results are identical for every value."
+  in
+  Arg.(
+    value
+    & opt positive_int_conv (Exec.Pool.default_domains ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let compare_cmd =
-  let run bench scale tcache_policy tcache_capacity =
+  let run bench scale tcache_policy tcache_capacity domains =
     let b = find_bench bench in
-    let program = Workload.Specfp.program ~scale b in
     let schemes =
       [
         Smarq.Scheme.None_;
@@ -128,16 +137,20 @@ let compare_cmd =
         Smarq.Scheme.Efficeon;
       ]
     in
+    let outcomes =
+      Exec.Matrix.run_matrix ~domains
+        (List.map
+           (fun s ->
+             Exec.Matrix.of_bench ~fuel:2_000_000_000 ~tcache_policy
+               ?tcache_capacity ~scale ~scheme:s b)
+           schemes)
+    in
     let baseline = ref 0 in
-    Printf.printf "%-12s %12s %9s %9s %9s\n" "scheme" "cycles" "speedup"
-      "rollback" "reopts";
-    List.iter
-      (fun s ->
-        let r =
-          Smarq.run_program ~fuel:2_000_000_000 ~tcache_policy
-            ?tcache_capacity ~scheme:s program
-        in
-        let st = r.Runtime.Driver.stats in
+    Printf.printf "%-12s %12s %9s %9s %9s %9s\n" "scheme" "cycles" "speedup"
+      "rollback" "reopts" "wall(s)";
+    List.iter2
+      (fun s (o : Exec.Matrix.outcome) ->
+        let st = o.Exec.Matrix.result.Runtime.Driver.stats in
         if s = Smarq.Scheme.None_ then
           baseline := st.Runtime.Stats.total_cycles;
         let speedup =
@@ -146,16 +159,16 @@ let compare_cmd =
             float_of_int !baseline
             /. float_of_int st.Runtime.Stats.total_cycles
         in
-        Printf.printf "%-12s %12d %9.3f %9d %9d\n" (Smarq.Scheme.name s)
+        Printf.printf "%-12s %12d %9.3f %9d %9d %9.3f\n" (Smarq.Scheme.name s)
           st.Runtime.Stats.total_cycles speedup st.Runtime.Stats.rollbacks
-          st.Runtime.Stats.reoptimizations)
-      schemes
+          st.Runtime.Stats.reoptimizations o.Exec.Matrix.wall_seconds)
+      schemes outcomes
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run one benchmark under every scheme")
     Term.(
       const run $ bench_arg $ scale_arg $ tcache_policy_arg
-      $ tcache_capacity_arg)
+      $ tcache_capacity_arg $ jobs_arg)
 
 let region_cmd =
   let run bench scheme =

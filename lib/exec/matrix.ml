@@ -1,0 +1,42 @@
+type job = {
+  label : string;
+  scheme : Smarq.Scheme.t;
+  config : Vliw.Config.t option;
+  fuel : int;
+  unroll : int;
+  tcache_policy : Tcache.Policy.t;
+  tcache_capacity : int option;
+  program : unit -> Ir.Program.t;
+}
+
+type outcome = {
+  job : job;
+  result : Runtime.Driver.result;
+  wall_seconds : float;
+}
+
+let job ?config ?(fuel = 1_000_000_000) ?(unroll = 1)
+    ?(tcache_policy = Tcache.Policy.Unbounded) ?tcache_capacity ~scheme ~label
+    program =
+  { label; scheme; config; fuel; unroll; tcache_policy; tcache_capacity; program }
+
+let of_bench ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity
+    ?(scale = 1) ~scheme (b : Workload.Specfp.bench) =
+  job ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity ~scheme
+    ~label:(Printf.sprintf "%s/%s" b.Workload.Specfp.name (Smarq.Scheme.name scheme))
+    (fun () -> Workload.Specfp.program ~scale b)
+
+let run_job j =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Smarq.run_program ?config:j.config ~fuel:j.fuel ~unroll:j.unroll
+      ~tcache_policy:j.tcache_policy ?tcache_capacity:j.tcache_capacity
+      ~scheme:j.scheme
+      (j.program ())
+  in
+  { job = j; result; wall_seconds = Unix.gettimeofday () -. t0 }
+
+let run_matrix ?domains jobs = Pool.map ?domains run_job jobs
+
+let total_wall outcomes =
+  List.fold_left (fun acc o -> acc +. o.wall_seconds) 0.0 outcomes

@@ -1,0 +1,60 @@
+(** The experiment matrix: independent [(benchmark, scheme, config)]
+    jobs fanned out over a {!Pool} and collected in submission order.
+
+    Each job builds its own program inside the worker domain (program
+    construction is cheap and keeps domains from sharing IR), runs the
+    full dynamic-optimization driver, and reports the result together
+    with its wall-clock cost.  Simulated cycle counts are deterministic
+    across [domains] values: a job's outcome depends only on the job. *)
+
+type job = {
+  label : string;  (** for reports, e.g. ["ammp/smarq64"] *)
+  scheme : Smarq.Scheme.t;
+  config : Vliw.Config.t option;
+      (** [None] lets {!Smarq.run_program} derive the config from the
+          scheme (alias-register count), as the sequential paths did. *)
+  fuel : int;
+  unroll : int;
+  tcache_policy : Tcache.Policy.t;
+  tcache_capacity : int option;
+  program : unit -> Ir.Program.t;  (** called in the worker domain *)
+}
+
+type outcome = {
+  job : job;
+  result : Runtime.Driver.result;
+  wall_seconds : float;  (** wall-clock cost of this job alone *)
+}
+
+val job :
+  ?config:Vliw.Config.t ->
+  ?fuel:int ->
+  ?unroll:int ->
+  ?tcache_policy:Tcache.Policy.t ->
+  ?tcache_capacity:int ->
+  scheme:Smarq.Scheme.t ->
+  label:string ->
+  (unit -> Ir.Program.t) ->
+  job
+(** Defaults: fuel 1e9, no unrolling, unbounded translation cache. *)
+
+val of_bench :
+  ?config:Vliw.Config.t ->
+  ?fuel:int ->
+  ?unroll:int ->
+  ?tcache_policy:Tcache.Policy.t ->
+  ?tcache_capacity:int ->
+  ?scale:int ->
+  scheme:Smarq.Scheme.t ->
+  Workload.Specfp.bench ->
+  job
+(** A job over a suite benchmark at [scale] (default 1), labelled
+    ["bench/scheme"]. *)
+
+val run_matrix : ?domains:int -> job list -> outcome list
+(** Run every job, using up to [domains] domains (default
+    {!Pool.default_domains}); outcomes are in job-list order. *)
+
+val total_wall : outcome list -> float
+(** Sum of per-job wall clocks (CPU-seconds of simulation, not elapsed
+    time when jobs overlapped). *)

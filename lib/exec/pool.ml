@@ -1,0 +1,45 @@
+(* A flat Domain-based worker pool.
+
+   Jobs are indexed into an array; workers race on an atomic cursor and
+   each result lands in its submission slot, so the output order is the
+   input order no matter which domain ran what.  The calling domain
+   works too: [domains = 1] (or a single job) degenerates to List.map
+   with no domain spawned at all. *)
+
+let default_domains () = Domain.recommended_domain_count ()
+
+type 'b slot =
+  | Pending
+  | Done of 'b
+  | Failed of exn * Printexc.raw_backtrace
+
+let map ?domains f xs =
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let n = List.length xs in
+  if n <= 1 || domains = 1 then List.map f xs
+  else begin
+    let jobs = Array.of_list xs in
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (results.(i) <-
+          (try Done (f jobs.(i))
+           with e -> Failed (e, Printexc.get_raw_backtrace ())));
+        worker ()
+      end
+    in
+    let spawned =
+      Array.init (min domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Done r -> r
+         | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+         | Pending -> assert false)
+  end

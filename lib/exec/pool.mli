@@ -1,0 +1,17 @@
+(** Domain-based worker pool: parallel [map] with deterministic output
+    order.
+
+    Results come back in submission order regardless of which domain
+    executed which job, so a parallel run is observationally identical
+    to the sequential one as long as [f] touches no shared mutable
+    state.  The first job exception (in submission order) is re-raised
+    with its original backtrace after all workers drain. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] applies [f] to every element using up to
+    [domains] domains (default {!default_domains}; the calling domain
+    participates).  [~domains:1] runs sequentially in the caller with
+    no domain spawned. *)

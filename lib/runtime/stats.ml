@@ -36,6 +36,7 @@ type t = {
   mutable overflow_fallbacks : int;
   mutable nonspec_mode_regions : int;
   mutable working_set : Sched.Working_set.t;
+  mutable wall_seconds : float;
 }
 
 let create () =
@@ -76,6 +77,7 @@ let create () =
     overflow_fallbacks = 0;
     nonspec_mode_regions = 0;
     working_set = Sched.Working_set.zero;
+    wall_seconds = 0.0;
   }
 
 let note_region_built t (o : Opt.Optimizer.t) ~ws =
@@ -157,4 +159,6 @@ let pp ppf t =
   f "AMOVs (fresh/clear)" (t.amov_fresh + t.amov_clear);
   f "alias checks" t.alias_checks;
   Format.fprintf ppf "  %-26s %.2f@." "mem ops / superblock"
-    (mem_ops_per_superblock t)
+    (mem_ops_per_superblock t);
+  if t.wall_seconds > 0.0 then
+    Format.fprintf ppf "  %-26s %.3f s@." "host wall clock" t.wall_seconds

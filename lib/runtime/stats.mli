@@ -47,6 +47,11 @@ type t = {
   mutable overflow_fallbacks : int;
   mutable nonspec_mode_regions : int;
   mutable working_set : Sched.Working_set.t;
+  (* host cost *)
+  mutable wall_seconds : float;
+      (** wall-clock host time of the driver run that produced these
+          stats; the only non-deterministic field (excluded from
+          run-equality comparisons) *)
 }
 
 val create : unit -> t

@@ -1,57 +1,179 @@
+(* Architectural state on the hot path of the simulator.
+
+   Registers live in dense [int array]s indexed by [Ir.Reg.index] (one
+   array per register class), memory in fixed-size [Bytes] pages hung
+   off a page table keyed by [addr asr page_bits].  Unwritten registers
+   and bytes read 0, so a missing page is indistinguishable from a page
+   of zeros and rollback may restore a byte to 0 instead of removing
+   it.  A one-entry page cache short-circuits the table lookup for the
+   streaming accesses that dominate region execution.
+
+   Atomic regions journal the previous value of every touched word and
+   register, so checkpoint is O(1) and rollback is O(journal), never
+   O(whole state). *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+
 type journal_entry =
-  | Mem_byte of int * int option  (* address, previous byte (None = unset) *)
-  | Reg of Ir.Reg.t * int option
+  | Mem of int * int * int  (* address, width, previous value *)
+  | Reg of Ir.Reg.t * int  (* register, previous value *)
 
 type t = {
-  regs : (Ir.Reg.t, int) Hashtbl.t;
-  mem : (int, int) Hashtbl.t;  (* byte address -> byte value *)
+  mutable ints : int array;
+  mutable floats : int array;
+  mutable temps : int array;
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable cached_idx : int;  (* page cache; [min_int] = empty *)
+  mutable cached_page : Bytes.t;
   mutable journal : journal_entry list option;  (* Some = region active *)
 }
 
 let create () =
-  { regs = Hashtbl.create 64; mem = Hashtbl.create 1024; journal = None }
-
-let copy t =
   {
-    regs = Hashtbl.copy t.regs;
-    mem = Hashtbl.copy t.mem;
+    ints = Array.make Ir.Reg.int_count 0;
+    floats = Array.make Ir.Reg.float_count 0;
+    temps = Array.make 64 0;
+    pages = Hashtbl.create 16;
+    cached_idx = min_int;
+    cached_page = Bytes.empty;
     journal = None;
   }
 
-let get_reg t r = Option.value (Hashtbl.find_opt t.regs r) ~default:0
+let copy t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages * 2) in
+  Hashtbl.iter (fun idx page -> Hashtbl.replace pages idx (Bytes.copy page)) t.pages;
+  {
+    ints = Array.copy t.ints;
+    floats = Array.copy t.floats;
+    temps = Array.copy t.temps;
+    pages;
+    cached_idx = min_int;
+    cached_page = Bytes.empty;
+    journal = None;
+  }
+
+(* -- registers -- *)
+
+let grown a i =
+  let n = Array.length a in
+  let a' = Array.make (max (i + 1) (n * 2)) 0 in
+  Array.blit a 0 a' 0 n;
+  a'
+
+let get_reg t r =
+  match r with
+  | Ir.Reg.R i -> if i < Array.length t.ints then t.ints.(i) else 0
+  | Ir.Reg.F i -> if i < Array.length t.floats then t.floats.(i) else 0
+  | Ir.Reg.T i -> if i < Array.length t.temps then t.temps.(i) else 0
 
 let set_reg t r v =
   (match t.journal with
-  | Some entries ->
-    t.journal <- Some (Reg (r, Hashtbl.find_opt t.regs r) :: entries)
+  | Some entries -> t.journal <- Some (Reg (r, get_reg t r) :: entries)
   | None -> ());
-  Hashtbl.replace t.regs r v
+  match r with
+  | Ir.Reg.R i ->
+    if i >= Array.length t.ints then t.ints <- grown t.ints i;
+    t.ints.(i) <- v
+  | Ir.Reg.F i ->
+    if i >= Array.length t.floats then t.floats <- grown t.floats i;
+    t.floats.(i) <- v
+  | Ir.Reg.T i ->
+    if i >= Array.length t.temps then t.temps <- grown t.temps i;
+    t.temps.(i) <- v
+
+(* -- memory -- *)
 
 let check_width width =
   if width <= 0 || width > 8 then
     invalid_arg (Printf.sprintf "Machine: unsupported access width %d" width)
 
-let get_byte t addr = Option.value (Hashtbl.find_opt t.mem addr) ~default:0
+(* [asr] floors, so page indices work unchanged for negative addresses:
+   page p covers [p * page_size, (p + 1) * page_size). *)
+let page_index addr = addr asr page_bits
 
-let set_byte t addr b =
-  (match t.journal with
-  | Some entries ->
-    t.journal <- Some (Mem_byte (addr, Hashtbl.find_opt t.mem addr) :: entries)
-  | None -> ());
-  Hashtbl.replace t.mem addr (b land 0xff)
+let find_page t idx =
+  if idx = t.cached_idx then Some t.cached_page
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some page ->
+      t.cached_idx <- idx;
+      t.cached_page <- page;
+      Some page
+    | None -> None
+
+let ensure_page t idx =
+  match find_page t idx with
+  | Some page -> page
+  | None ->
+    let page = Bytes.make page_size '\000' in
+    Hashtbl.replace t.pages idx page;
+    t.cached_idx <- idx;
+    t.cached_page <- page;
+    page
+
+let read_raw t addr width =
+  let idx = page_index addr in
+  if page_index (addr + width - 1) = idx then
+    (* fast path: the access sits inside one page *)
+    match find_page t idx with
+    | None -> 0
+    | Some page ->
+      let off = addr land page_mask in
+      let rec go i acc =
+        if i < 0 then acc
+        else go (i - 1) ((acc lsl 8) lor Char.code (Bytes.unsafe_get page (off + i)))
+      in
+      go (width - 1) 0
+  else
+    let byte i =
+      match find_page t (page_index (addr + i)) with
+      | None -> 0
+      | Some page -> Char.code (Bytes.unsafe_get page ((addr + i) land page_mask))
+    in
+    let rec go i acc = if i < 0 then acc else go (i - 1) ((acc lsl 8) lor byte i) in
+    go (width - 1) 0
+
+let write_raw t addr width v =
+  let idx = page_index addr in
+  if page_index (addr + width - 1) = idx then begin
+    let page = ensure_page t idx in
+    let off = addr land page_mask in
+    for i = 0 to width - 1 do
+      Bytes.unsafe_set page (off + i) (Char.unsafe_chr ((v lsr (8 * i)) land 0xff))
+    done
+  end
+  else
+    for i = 0 to width - 1 do
+      let page = ensure_page t (page_index (addr + i)) in
+      Bytes.unsafe_set page
+        ((addr + i) land page_mask)
+        (Char.unsafe_chr ((v lsr (8 * i)) land 0xff))
+    done
 
 let load t ~addr ~width =
   check_width width;
-  let rec go i acc =
-    if i < 0 then acc else go (i - 1) ((acc lsl 8) lor get_byte t (addr + i))
-  in
-  go (width - 1) 0
+  read_raw t addr width
 
 let store t ~addr ~width v =
   check_width width;
-  for i = 0 to width - 1 do
-    set_byte t (addr + i) ((v lsr (8 * i)) land 0xff)
-  done
+  (match t.journal with
+  | Some entries ->
+    (* an 8-byte word has 64 bits and does not round-trip through a
+       63-bit OCaml int, so journal it as two 4-byte halves *)
+    let entries =
+      if width = 8 then
+        Mem (addr + 4, 4, read_raw t (addr + 4) 4)
+        :: Mem (addr, 4, read_raw t addr 4)
+        :: entries
+      else Mem (addr, width, read_raw t addr width) :: entries
+    in
+    t.journal <- Some entries
+  | None -> ());
+  write_raw t addr width v
+
+(* -- atomic regions -- *)
 
 let checkpoint t =
   match t.journal with
@@ -67,34 +189,80 @@ let rollback t =
   match t.journal with
   | None -> invalid_arg "Machine.rollback: no active region"
   | Some entries ->
+    (* newest-first: the oldest entry for an address or register is
+       applied last and wins, restoring the checkpointed value *)
     t.journal <- None;
     let undo = function
-      | Mem_byte (addr, Some b) -> Hashtbl.replace t.mem addr b
-      | Mem_byte (addr, None) -> Hashtbl.remove t.mem addr
-      | Reg (r, Some v) -> Hashtbl.replace t.regs r v
-      | Reg (r, None) -> Hashtbl.remove t.regs r
+      | Mem (addr, width, prev) -> write_raw t addr width prev
+      | Reg (r, prev) -> set_reg t r prev
     in
     List.iter undo entries
 
 let in_region t = Option.is_some t.journal
 
-let guest_regs t =
-  Hashtbl.fold
-    (fun r v acc -> if Ir.Reg.is_temp r then acc else (r, v) :: acc)
-    t.regs []
-  |> List.filter (fun (_, v) -> v <> 0)
-  |> List.sort (fun (a, _) (b, _) -> Ir.Reg.compare a b)
+(* -- observation (cold paths: tests, diffs, dumps) -- *)
 
-let mem_bytes t =
-  Hashtbl.fold (fun a b acc -> if b <> 0 then (a, b) :: acc else acc) t.mem []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+let dump_regs t =
+  let collect mk a acc =
+    let out = ref acc in
+    for i = Array.length a - 1 downto 0 do
+      if a.(i) <> 0 then out := (mk i, a.(i)) :: !out
+    done;
+    !out
+  in
+  (* index order per class = [Ir.Reg.compare] order, no sort needed *)
+  collect (fun i -> Ir.Reg.R i) t.ints
+    (collect (fun i -> Ir.Reg.F i) t.floats [])
 
-let equal_guest_state a b = guest_regs a = guest_regs b && mem_bytes a = mem_bytes b
+let dump_mem t =
+  let page_idxs =
+    Hashtbl.fold (fun idx _ acc -> idx :: acc) t.pages []
+    |> List.sort Int.compare
+  in
+  List.concat_map
+    (fun idx ->
+      let page = Hashtbl.find t.pages idx in
+      let base = idx * page_size in
+      let out = ref [] in
+      for off = page_size - 1 downto 0 do
+        let b = Char.code (Bytes.unsafe_get page off) in
+        if b <> 0 then out := (base + off, b) :: !out
+      done;
+      !out)
+    page_idxs
+
+let zero_page = Bytes.make page_size '\000'
+
+let equal_regs a b =
+  let le x y =
+    (* every value in [x] matches [y] (missing slots read 0) *)
+    let ny = Array.length y in
+    let ok = ref true in
+    Array.iteri (fun i v -> if v <> (if i < ny then y.(i) else 0) then ok := false) x;
+    !ok
+  in
+  le a b && le b a
+
+let equal_mem a b =
+  let covered_by x y =
+    Hashtbl.fold
+      (fun idx page acc ->
+        acc
+        &&
+        match Hashtbl.find_opt y.pages idx with
+        | Some page' -> Bytes.equal page page'
+        | None -> Bytes.equal page zero_page)
+      x.pages true
+  in
+  covered_by a b && covered_by b a
+
+let equal_guest_state a b =
+  equal_regs a.ints b.ints && equal_regs a.floats b.floats && equal_mem a b
 
 let diff_guest_state a b =
   let diffs = ref [] in
   let note fmt = Printf.ksprintf (fun s -> diffs := s :: !diffs) fmt in
-  let regs_a = guest_regs a and regs_b = guest_regs b in
+  let regs_a = dump_regs a and regs_b = dump_regs b in
   if regs_a <> regs_b then begin
     let tbl = Hashtbl.create 32 in
     List.iter (fun (r, v) -> Hashtbl.replace tbl r (Some v, None)) regs_a;
@@ -112,7 +280,7 @@ let diff_guest_state a b =
             (match y with Some v -> string_of_int v | None -> "0"))
       tbl
   end;
-  let mem_a = mem_bytes a and mem_b = mem_bytes b in
+  let mem_a = dump_mem a and mem_b = dump_mem b in
   if mem_a <> mem_b then begin
     let tbl = Hashtbl.create 64 in
     List.iter (fun (ad, v) -> Hashtbl.replace tbl ad (Some v, None)) mem_a;
@@ -131,6 +299,3 @@ let diff_guest_state a b =
       tbl
   end;
   List.rev !diffs
-
-let touched_addresses t =
-  Hashtbl.fold (fun a _ acc -> a :: acc) t.mem [] |> List.sort Int.compare

@@ -1,11 +1,15 @@
 (** Architectural state: register file and byte-addressed sparse memory,
     with checkpoint/rollback support for atomic-region execution.
 
+    Registers live in dense arrays indexed by register number; memory is
+    a page table of fixed-size [Bytes] pages, so the simulator's
+    innermost loads and stores touch flat storage instead of hashing.
     Values are plain OCaml integers; loads and stores move [width]
     little-endian bytes so overlapping accesses of different widths
-    interact exactly as alias detection expects.  Checkpoints snapshot
-    the register file and journal memory writes, so rollback cost is
-    proportional to region footprint, not memory size. *)
+    interact exactly as alias detection expects.  Checkpoints journal
+    the previous value of each touched word and register, so checkpoint
+    is O(1) and rollback cost is proportional to the region's write
+    footprint, never to total state size. *)
 
 type t
 
@@ -40,10 +44,17 @@ val in_region : t -> bool
 
 val equal_guest_state : t -> t -> bool
 (** Registers (guest-visible only) and memory agree.  Optimizer
-    temporaries are excluded — they are dead outside regions. *)
+    temporaries are excluded — they are dead outside regions.  Compares
+    dense state directly, order-insensitively: no sorting, no
+    intermediate lists. *)
 
 val diff_guest_state : t -> t -> string list
 (** Human-readable discrepancies, for test failure messages. *)
 
-val touched_addresses : t -> int list
-(** Every byte address ever written (sorted), for state comparison. *)
+val dump_regs : t -> (Ir.Reg.t * int) list
+(** Non-zero guest registers in [Ir.Reg.compare] order.  Cold path:
+    walks the register file; for equality use {!equal_guest_state}. *)
+
+val dump_mem : t -> (int * int) list
+(** Non-zero bytes, sorted by address.  Cold path: walks every resident
+    page; for equality use {!equal_guest_state}. *)

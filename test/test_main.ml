@@ -22,4 +22,5 @@ let () =
       Suite_tcache.suite;
       Suite_props.suite;
       Suite_runtime.suite;
+      Suite_exec.suite;
     ]
