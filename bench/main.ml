@@ -35,11 +35,30 @@ let schemes_fig15 =
 let jobs_this_experiment = ref 0
 let sim_seconds_this_experiment = ref 0.0
 
+(* fault/recovery counters summed over the experiment's runs, so
+   BENCH_* trajectories can track recovery overhead; all zero unless an
+   experiment injects faults *)
+let injected_this_experiment = ref 0
+let spurious_this_experiment = ref 0
+let degraded_this_experiment = ref 0
+
+let note_fault_stats (st : Runtime.Stats.t) =
+  injected_this_experiment :=
+    !injected_this_experiment + st.Runtime.Stats.injected_faults;
+  spurious_this_experiment :=
+    !spurious_this_experiment + st.Runtime.Stats.spurious_rollbacks;
+  degraded_this_experiment :=
+    !degraded_this_experiment + st.Runtime.Stats.degraded_regions
+
 let run_matrix ~domains jobs =
   jobs_this_experiment := !jobs_this_experiment + List.length jobs;
   let outcomes = Exec.Matrix.run_matrix ~domains jobs in
   sim_seconds_this_experiment :=
     !sim_seconds_this_experiment +. Exec.Matrix.total_wall outcomes;
+  List.iter
+    (fun (o : Exec.Matrix.outcome) ->
+      note_fault_stats o.Exec.Matrix.result.Runtime.Driver.stats)
+    outcomes;
   outcomes
 
 let stats_of (o : Exec.Matrix.outcome) = o.Exec.Matrix.result.Runtime.Driver.stats
@@ -619,6 +638,34 @@ let tcache_exp ~domains =
      skipped the cache lookup entirely.\n"
     loops
 
+(* ---- Fault campaign: seeded injection across schemes, every run
+   checked against the interpreter oracle.  Emits the same JSON lines
+   as `smarq_run fuzz`, so BENCH_* trajectories can track recovery
+   overhead next to the performance tables. ---- *)
+
+let faults_exp ~domains:_ =
+  hr "Fault injection: recovery ladder under a seeded campaign (JSON)";
+  let cfg =
+    { Verify.Campaign.default_config with Verify.Campaign.seeds = [ 1; 2 ] }
+  in
+  let benches =
+    List.map Workload.Specfp.find [ "wupwise"; "equake" ]
+  in
+  let result = Verify.Campaign.run_benches cfg benches in
+  List.iter
+    (fun (r : Verify.Campaign.run) ->
+      print_endline (Verify.Campaign.json_line cfg r);
+      note_fault_stats r.Verify.Campaign.entry.Verify.Oracle.stats;
+      incr jobs_this_experiment;
+      sim_seconds_this_experiment :=
+        !sim_seconds_this_experiment
+        +. r.Verify.Campaign.entry.Verify.Oracle.stats
+             .Runtime.Stats.wall_seconds)
+    result.Verify.Campaign.runs;
+  Format.printf "%a" Verify.Campaign.pp_summary result;
+  if not (Verify.Campaign.ok result) then
+    Printf.printf "WARNING: fault campaign diverged from the oracle\n"
+
 let experiments =
   [
     ("table1", table1);
@@ -634,6 +681,7 @@ let experiments =
     ("static", static_exp);
     ("unroll", unroll_exp);
     ("tcache", tcache_exp);
+    ("faults", faults_exp);
     ("micro", micro);
   ]
 
@@ -666,15 +714,20 @@ let () =
       | Some fn ->
         jobs_this_experiment := 0;
         sim_seconds_this_experiment := 0.0;
+        injected_this_experiment := 0;
+        spurious_this_experiment := 0;
+        degraded_this_experiment := 0;
         let t0 = Unix.gettimeofday () in
         fn ~domains;
         let wall = Unix.gettimeofday () -. t0 in
         let line =
           Printf.sprintf
             "{\"experiment\":\"%s\",\"wall_s\":%.3f,\"sim_s\":%.3f,\
-             \"jobs\":%d,\"domains\":%d}"
+             \"jobs\":%d,\"domains\":%d,\"injected_faults\":%d,\
+             \"spurious_rollbacks\":%d,\"degraded_regions\":%d}"
             name wall !sim_seconds_this_experiment !jobs_this_experiment
-            domains
+            domains !injected_this_experiment !spurious_this_experiment
+            !degraded_this_experiment
         in
         print_endline line;
         timings := line :: !timings

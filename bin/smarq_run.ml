@@ -3,8 +3,11 @@
 
    smarq_run list                          -- benchmarks and schemes
    smarq_run run -b wupwise -s smarq64     -- run one benchmark
+   smarq_run run -b mesa --fault-seed 7 --fault-rate 0.1 --oracle
+                                           -- fault-injected + checked
    smarq_run compare -b mesa --scale 5     -- all schemes side by side
-   smarq_run region -b ammp -s smarq64     -- show an annotated region *)
+   smarq_run region -b ammp -s smarq64     -- show an annotated region
+   smarq_run fuzz --seeds 3 --rate 0.05    -- fault campaign + report *)
 
 open Cmdliner
 
@@ -69,6 +72,42 @@ let tcache_capacity_arg =
     & opt (some positive_int_conv) None
     & info [ "tcache-capacity" ] ~docv:"INSTRS" ~doc)
 
+let fault_seed_arg =
+  let doc =
+    "Enable deterministic fault injection with this PRNG seed: spurious \
+     alias violations, repeat-pair violations, violation storms, and \
+     translation-cache invalidations/flushes, all drawn reproducibly from \
+     the seed."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let rate_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some r when r >= 0.0 && r <= 1.0 -> Ok r
+    | Some _ -> Error (`Msg "rate must be in [0, 1]")
+    | None -> Error (`Msg (Printf.sprintf "invalid rate %S" s))
+  in
+  Arg.conv (parse, fun ppf r -> Format.fprintf ppf "%.4f" r)
+
+let fault_rate_arg =
+  let doc =
+    "Per-region-execution fault probability (default 0.05); only \
+     meaningful with $(b,--fault-seed)."
+  in
+  Arg.(value & opt rate_conv 0.05 & info [ "fault-rate" ] ~docv:"RATE" ~doc)
+
+let oracle_arg =
+  let doc =
+    "Differential oracle: also run the pure interpreter and verify the \
+     optimized run converged to the same final guest state; exit non-zero \
+     on divergence."
+  in
+  Arg.(value & flag & info [ "oracle" ] ~doc)
+
 let find_bench name =
   match Workload.Specfp.find name with
   | b -> b
@@ -93,27 +132,63 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run bench scheme scale tcache_policy tcache_capacity =
+  let run bench scheme scale tcache_policy tcache_capacity fault_seed
+      fault_rate oracle =
     let b = find_bench bench in
     let program = Workload.Specfp.program ~scale b in
-    let r =
-      Smarq.run_program ~fuel:2_000_000_000 ~tcache_policy ?tcache_capacity
-        ~scheme program
+    let fault =
+      Option.map
+        (fun seed -> Verify.Fault.plan ~seed ~rate:fault_rate ())
+        fault_seed
     in
-    Printf.printf "%s under %s (scale %d, tcache %s%s):\n" bench
+    let r =
+      fst
+        (Verify.Oracle.run_scheme ~fuel:2_000_000_000 ~tcache_policy
+           ?tcache_capacity ?fault ~scheme program)
+    in
+    Printf.printf "%s under %s (scale %d, tcache %s%s%s):\n" bench
       (Smarq.Scheme.name scheme) scale
       (Smarq.Tcache.Policy.to_string tcache_policy)
       (match tcache_capacity with
       | Some c -> Printf.sprintf "/%d" c
+      | None -> "")
+      (match fault_seed with
+      | Some seed -> Printf.sprintf ", faults seed %d rate %.3f" seed fault_rate
       | None -> "");
     Runtime.Stats.pp Format.std_formatter r.Runtime.Driver.stats;
-    Format.print_flush ()
+    (match fault with
+    | Some plan ->
+      Format.printf "  fault kinds: %a@." Verify.Fault.pp_counters
+        (Verify.Fault.counters plan)
+    | None -> ());
+    (match r.Runtime.Driver.outcome with
+    | Runtime.Driver.Completed -> ()
+    | Runtime.Driver.Fuel_exhausted ->
+      print_endline "  (fuel exhausted before the program halted)");
+    Format.print_flush ();
+    if oracle then begin
+      match r.Runtime.Driver.outcome with
+      | Runtime.Driver.Fuel_exhausted ->
+        prerr_endline "oracle: skipped (run did not complete)";
+        exit 2
+      | Runtime.Driver.Completed ->
+        let oracle_m = Verify.Oracle.reference program in
+        if Vliw.Machine.equal_guest_state oracle_m r.Runtime.Driver.machine
+        then print_endline "oracle: final guest state matches the interpreter"
+        else begin
+          prerr_endline "oracle: DIVERGENCE from the interpreter:";
+          List.iter
+            (fun d -> Printf.eprintf "  %s\n" d)
+            (Vliw.Machine.diff_guest_state oracle_m r.Runtime.Driver.machine);
+          exit 1
+        end
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark under one scheme")
     Term.(
       const run $ bench_arg $ scheme_arg $ scale_arg $ tcache_policy_arg
-      $ tcache_capacity_arg)
+      $ tcache_capacity_arg $ fault_seed_arg $ fault_rate_arg $ oracle_arg)
 
 let jobs_arg =
   let doc =
@@ -169,6 +244,79 @@ let compare_cmd =
     Term.(
       const run $ bench_arg $ scale_arg $ tcache_policy_arg
       $ tcache_capacity_arg $ jobs_arg)
+
+let fuzz_cmd =
+  let seeds_arg =
+    let doc = "Number of fault seeds per (benchmark, scheme) cell." in
+    Arg.(value & opt positive_int_conv 3 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let first_seed_arg =
+    let doc = "First seed of the matrix (seeds are consecutive)." in
+    Arg.(value & opt int 1 & info [ "first-seed" ] ~docv:"SEED" ~doc)
+  in
+  let rate_arg =
+    let doc = "Fault probability per region execution." in
+    Arg.(value & opt rate_conv 0.05 & info [ "rate" ] ~docv:"RATE" ~doc)
+  in
+  let bench_opt_arg =
+    let doc =
+      "Restrict the campaign to one benchmark (default: the whole suite)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+  in
+  let report_arg =
+    let doc = "Write the JSON-lines campaign report to this file." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"PATH" ~doc)
+  in
+  let run seeds first_seed rate bench scale report =
+    let cfg =
+      {
+        Verify.Campaign.default_config with
+        Verify.Campaign.seeds =
+          List.init seeds (fun i -> first_seed + i);
+        rate;
+        scale;
+      }
+    in
+    let benches =
+      match bench with
+      | None -> Workload.Specfp.suite
+      | Some name -> [ find_bench name ]
+    in
+    let result = Verify.Campaign.run_benches cfg benches in
+    let lines =
+      List.map (Verify.Campaign.json_line cfg) result.Verify.Campaign.runs
+    in
+    List.iter print_endline lines;
+    (match report with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      Printf.printf "report written to %s\n" path);
+    Verify.Campaign.pp_summary Format.std_formatter result;
+    Format.print_flush ();
+    if not (Verify.Campaign.ok result) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fault-injection campaign: a (benchmark x scheme x seed) matrix \
+          with every run checked against the interpreter oracle")
+    Term.(
+      const run $ seeds_arg $ first_seed_arg $ rate_arg $ bench_opt_arg
+      $ scale_arg $ report_arg)
 
 let region_cmd =
   let run bench scheme =
@@ -237,4 +385,6 @@ let () =
     Cmd.info "smarq_run" ~version:"1.0"
       ~doc:"SMARQ dynamic binary optimization system"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; compare_cmd; region_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; compare_cmd; region_cmd; fuzz_cmd ]))

@@ -67,19 +67,17 @@ module Scheme = struct
   let all = [ Smarq 64; Smarq 16; Alat; Efficeon; None_ ]
 end
 
+(** The VLIW configuration a scheme runs under by default: schemes with
+    an alias-register count size the machine's window to match. *)
+let config_for = function
+  | Scheme.Smarq n | Scheme.Smarq_no_store_reorder n | Scheme.Naive_order n ->
+    Vliw.Config.with_alias_registers Vliw.Config.default n
+  | Scheme.Alat | Scheme.Efficeon | Scheme.None_ | Scheme.None_static ->
+    Vliw.Config.default
+
 let run_program ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity ~scheme
     program =
-  let cfg =
-    match config, scheme with
-    | Some c, _ -> c
-    | None, Scheme.Smarq n
-    | None, Scheme.Smarq_no_store_reorder n
-    | None, Scheme.Naive_order n ->
-      Vliw.Config.with_alias_registers Vliw.Config.default n
-    | None, (Scheme.Alat | Scheme.Efficeon | Scheme.None_ | Scheme.None_static)
-      ->
-      Vliw.Config.default
-  in
+  let cfg = match config with Some c -> c | None -> config_for scheme in
   Runtime.Driver.run ~config:cfg ?fuel ?unroll ?tcache_policy ?tcache_capacity
     ~scheme:(Scheme.to_driver scheme) program
 

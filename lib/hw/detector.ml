@@ -24,6 +24,19 @@ type t = {
 
 let exceeds_window _ _ = false
 
+let wrap ?name ?(reset = fun () -> ()) ?on_mem (d : t) =
+  let base_on_mem = d.on_mem in
+  {
+    d with
+    name = (match name with Some n -> n | None -> d.name);
+    reset =
+      (fun () ->
+        d.reset ();
+        reset ());
+    on_mem =
+      (match on_mem with None -> d.on_mem | Some f -> f base_on_mem);
+  }
+
 let pp_violation ppf v =
   Format.fprintf ppf "alias violation: instr %d checked instr %d%s" v.checker
     v.setter

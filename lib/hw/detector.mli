@@ -40,4 +40,21 @@ type t = {
 val exceeds_window : t -> violation -> bool
 (** Always false; kept for interface stability. *)
 
+val wrap :
+  ?name:string ->
+  ?reset:(unit -> unit) ->
+  ?on_mem:
+    ((Ir.Instr.t -> Access.t -> (unit, violation) result) ->
+    Ir.Instr.t ->
+    Access.t ->
+    (unit, violation) result) ->
+  t ->
+  t
+(** [wrap d] layers instrumentation over [d] without knowing which
+    hardware model it is: [reset] runs after [d]'s own reset at every
+    region entry, and [on_mem] receives [d]'s handler as the next stage
+    (call it, then pass through or override its verdict).  Capabilities
+    and counters are shared with [d].  Used by the fault-injection
+    harness and available to tracing layers. *)
+
 val pp_violation : Format.formatter -> violation -> unit

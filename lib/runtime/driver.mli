@@ -32,10 +32,39 @@ val scheme_none_with_analysis : unit -> scheme
 (** No hardware, but constant-base static disambiguation (related
     work [13]): the measure of how far software-only analysis gets. *)
 
+type outcome =
+  | Completed  (** the guest program ran to halt *)
+  | Fuel_exhausted
+      (** the block budget ran out first; stats and machine hold the
+          state accumulated up to that point *)
+
 type result = {
   stats : Stats.t;
   machine : Vliw.Machine.t;
+  outcome : outcome;
 }
+
+(** What a fault-injection harness may do to the dispatch loop between
+    region entries. *)
+type tcache_event =
+  | Keep
+  | Invalidate  (** drop this label's translation, as self-modifying
+                    guest code would *)
+  | Flush  (** drop every translation *)
+
+(** Harness hooks threaded through a run.  [before_dispatch] is
+    consulted once per dispatched block with its label;
+    [is_injected v] classifies a violation as harness-made (counted as
+    a spurious rollback); [injected_count] is read once at the end of
+    the run into [Stats.injected_faults].  See [Verify.Fault] for the
+    standard implementation; {!no_hooks} is the inert default. *)
+type hooks = {
+  before_dispatch : Ir.Instr.label -> tcache_event;
+  is_injected : Hw.Detector.violation -> bool;
+  injected_count : unit -> int;
+}
+
+val no_hooks : hooks
 
 val run :
   ?config:Vliw.Config.t ->
@@ -46,14 +75,28 @@ val run :
   ?unroll:int ->
   ?tcache_policy:Tcache.Policy.t ->
   ?tcache_capacity:int ->
+  ?watchdog:int ->
+  ?hooks:hooks ->
   scheme:scheme ->
   Ir.Program.t ->
   result
 (** Runs the program to halt under the dynamic optimization system.
-    [fuel] bounds executed guest blocks (default 2,000,000); raises
-    [Frontend.Interp.Out_of_fuel] beyond it.  [unroll] (default 1)
+    [fuel] bounds executed guest blocks (default 2,000,000); running
+    out of fuel is not an exception but the [Fuel_exhausted] outcome,
+    carrying the statistics and machine state accumulated so far (with
+    [wall_seconds] set).  [unroll] (default 1)
     unrolls self-loop superblocks that many times before optimization —
     the larger-regions experiment of the paper's conclusion.
+
+    [watchdog] (default [2 * max_reopts + 10]) is the livelock bound:
+    a region that alias-faults more than [watchdog] times without a
+    single commit in between — possible only when violations keep
+    arriving after the re-optimization ladder has given speculation up,
+    i.e. under fault injection or a pathologically false-positive
+    detector — is degraded to interpreter-only execution (its
+    translation is invalidated, the label blacklisted, and
+    [Stats.degraded_regions] incremented).  Execution always makes
+    forward progress because the interpreter cannot alias-fault.
 
     Translations live in a {!Tcache.Store.t}: [tcache_policy] (default
     [Unbounded], which reproduces the unbounded-cache behavior cycle

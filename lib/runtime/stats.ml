@@ -14,6 +14,10 @@ type t = {
   mutable pinned_ops : int;
   mutable gave_up_regions : int;
   mutable alias_checks : int;
+  (* fault injection and graceful degradation *)
+  mutable injected_faults : int;
+  mutable spurious_rollbacks : int;
+  mutable degraded_regions : int;
   (* translation cache *)
   mutable tcache_hits : int;
   mutable tcache_misses : int;
@@ -56,6 +60,9 @@ let create () =
     pinned_ops = 0;
     gave_up_regions = 0;
     alias_checks = 0;
+    injected_faults = 0;
+    spurious_rollbacks = 0;
+    degraded_regions = 0;
     tcache_hits = 0;
     tcache_misses = 0;
     tcache_evictions = 0;
@@ -145,6 +152,12 @@ let pp ppf t =
   f "  not assumed (FP)" t.rollbacks_not_assumed;
   f "reoptimizations" t.reoptimizations;
   f "  ops pinned" t.pinned_ops;
+  if t.injected_faults > 0 || t.spurious_rollbacks > 0
+     || t.degraded_regions > 0 then begin
+    f "injected faults" t.injected_faults;
+    f "  spurious rollbacks" t.spurious_rollbacks;
+    f "  degraded regions" t.degraded_regions
+  end;
   f "regions built" t.regions_built;
   f "tcache hits" t.tcache_hits;
   f "tcache misses" t.tcache_misses;

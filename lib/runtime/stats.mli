@@ -22,6 +22,16 @@ type t = {
       (** operations pinned out of speculation after repeat violations *)
   mutable gave_up_regions : int;
   mutable alias_checks : int;
+  (* fault injection and graceful degradation *)
+  mutable injected_faults : int;
+      (** detector/tcache faults injected by a {!Runtime.Driver.hooks}
+          harness during this run (0 without fault injection) *)
+  mutable spurious_rollbacks : int;
+      (** rollbacks whose violation the harness marked as injected —
+          recovery work caused by the campaign, not the workload *)
+  mutable degraded_regions : int;
+      (** regions the livelock watchdog blacklisted to interpreter-only
+          execution after faulting repeatedly without a commit *)
   (* translation cache (copied from [Tcache.Telemetry] after a run) *)
   mutable tcache_hits : int;
   mutable tcache_misses : int;

@@ -1,0 +1,95 @@
+type config = {
+  seeds : int list;
+  rate : float;
+  schemes : Smarq.Scheme.t list;
+  scale : int;
+  fuel : int;
+}
+
+let default_config =
+  {
+    seeds = [ 1; 2; 3 ];
+    rate = 0.05;
+    schemes = Smarq.Scheme.all @ [ Smarq.Scheme.None_static ];
+    scale = 1;
+    fuel = 1_000_000_000;
+  }
+
+type run = {
+  bench : string;
+  seed : int;
+  entry : Oracle.entry;
+}
+
+type result = {
+  config : config;
+  runs : run list;
+}
+
+let ok r = List.for_all (fun c -> Oracle.entry_ok c.entry) r.runs
+
+let run_program cfg ~name program =
+  List.concat_map
+    (fun seed ->
+      let report =
+        Oracle.check ~fuel:cfg.fuel
+          ~fault:(fun ~seed ~rate () -> Fault.plan ~seed ~rate ())
+          ~seed ~rate:cfg.rate
+          ~name ~schemes:cfg.schemes (program ())
+      in
+      List.map (fun entry -> { bench = name; seed; entry }) report.Oracle.entries)
+    cfg.seeds
+
+let run_benches cfg benches =
+  let runs =
+    List.concat_map
+      (fun (b : Workload.Specfp.bench) ->
+        run_program cfg ~name:b.Workload.Specfp.name (fun () ->
+            Workload.Specfp.program ~scale:cfg.scale b))
+      benches
+  in
+  { config = cfg; runs }
+
+let json_line cfg r =
+  let st = r.entry.Oracle.stats in
+  Printf.sprintf
+    "{\"bench\":\"%s\",\"scheme\":\"%s\",\"seed\":%d,\"rate\":%.4f,\
+     \"outcome\":\"%s\",\"ok\":%b,\"injected_faults\":%d,\
+     \"spurious_rollbacks\":%d,\"degraded_regions\":%d,\"rollbacks\":%d,\
+     \"reoptimizations\":%d,\"pinned_ops\":%d,\"gave_up_regions\":%d,\
+     \"total_cycles\":%d}"
+    r.bench r.entry.Oracle.scheme r.seed cfg.rate
+    (match r.entry.Oracle.outcome with
+    | Runtime.Driver.Completed -> "completed"
+    | Runtime.Driver.Fuel_exhausted -> "fuel_exhausted")
+    (Oracle.entry_ok r.entry)
+    st.Runtime.Stats.injected_faults st.Runtime.Stats.spurious_rollbacks
+    st.Runtime.Stats.degraded_regions st.Runtime.Stats.rollbacks
+    st.Runtime.Stats.reoptimizations st.Runtime.Stats.pinned_ops
+    st.Runtime.Stats.gave_up_regions st.Runtime.Stats.total_cycles
+
+let pp_summary ppf r =
+  let total = List.length r.runs in
+  let failed = List.filter (fun c -> not (Oracle.entry_ok c.entry)) r.runs in
+  let injected =
+    List.fold_left
+      (fun acc c -> acc + c.entry.Oracle.stats.Runtime.Stats.injected_faults)
+      0 r.runs
+  in
+  let degraded =
+    List.fold_left
+      (fun acc c -> acc + c.entry.Oracle.stats.Runtime.Stats.degraded_regions)
+      0 r.runs
+  in
+  Format.fprintf ppf
+    "fault campaign: %d runs (%d seeds x %d schemes), %d faults injected, %d \
+     regions degraded, %d divergences@."
+    total
+    (List.length r.config.seeds)
+    (List.length r.config.schemes)
+    injected degraded (List.length failed);
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  FAILED %s seed %d: %a@." c.bench c.seed
+        Oracle.pp_entry c.entry)
+    failed

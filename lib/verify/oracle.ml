@@ -1,0 +1,103 @@
+type entry = {
+  scheme : string;
+  outcome : Runtime.Driver.outcome;
+  stats : Runtime.Stats.t;
+  injected : int;
+  divergence : string list;
+}
+
+type report = {
+  program : string;
+  entries : entry list;
+}
+
+let entry_ok e = e.outcome = Runtime.Driver.Completed && e.divergence = []
+let ok r = List.for_all entry_ok r.entries
+
+let reference ?(fuel = 200_000_000) program =
+  let m = Vliw.Machine.create () in
+  ignore (Frontend.Interp.run ~fuel m program);
+  m
+
+let run_scheme ?config ?(fuel = 1_000_000_000) ?tcache_policy
+    ?tcache_capacity ?watchdog ?fault ~scheme program =
+  let config =
+    match config with Some c -> c | None -> Smarq.config_for scheme
+  in
+  let driver_scheme = Smarq.Scheme.to_driver scheme in
+  let driver_scheme, hooks, injected_before =
+    match fault with
+    | None -> (driver_scheme, None, 0)
+    | Some plan ->
+      ( {
+          driver_scheme with
+          Runtime.Driver.detector =
+            Fault.wrap plan driver_scheme.Runtime.Driver.detector;
+        },
+        Some (Fault.hooks plan),
+        Fault.total_injected plan )
+  in
+  let r =
+    Runtime.Driver.run ~config ~fuel ?tcache_policy ?tcache_capacity
+      ?watchdog ?hooks ~scheme:driver_scheme program
+  in
+  let injected =
+    match fault with
+    | None -> 0
+    | Some plan -> Fault.total_injected plan - injected_before
+  in
+  (r, injected)
+
+let check ?config ?fuel ?interp_fuel ?watchdog ?fault ?(seed = 1)
+    ?(rate = 0.05) ?(name = "program") ~schemes program =
+  let oracle = reference ?fuel:interp_fuel program in
+  let entries =
+    List.map
+      (fun scheme ->
+        let plan =
+          Option.map (fun mk -> mk ~seed ~rate ()) fault
+        in
+        let r, injected =
+          run_scheme ?config ?fuel ?watchdog ?fault:plan ~scheme program
+        in
+        let divergence =
+          match r.Runtime.Driver.outcome with
+          | Runtime.Driver.Fuel_exhausted ->
+            (* partial state cannot be compared against a completed
+               oracle; the non-Completed outcome already fails the
+               entry *)
+            []
+          | Runtime.Driver.Completed ->
+            if
+              Vliw.Machine.equal_guest_state oracle r.Runtime.Driver.machine
+            then []
+            else Vliw.Machine.diff_guest_state oracle r.Runtime.Driver.machine
+        in
+        {
+          scheme = Smarq.Scheme.name scheme;
+          outcome = r.Runtime.Driver.outcome;
+          stats = r.Runtime.Driver.stats;
+          injected;
+          divergence;
+        })
+      schemes
+  in
+  { program = name; entries }
+
+let pp_entry ppf e =
+  let st = e.stats in
+  Format.fprintf ppf "%-14s %-9s injected %4d, spurious %4d, degraded %2d%s"
+    e.scheme
+    (match e.outcome with
+    | Runtime.Driver.Completed -> "completed"
+    | Runtime.Driver.Fuel_exhausted -> "OUT-OF-FUEL")
+    e.injected st.Runtime.Stats.spurious_rollbacks
+    st.Runtime.Stats.degraded_regions
+    (match e.divergence with
+    | [] -> ", state = oracle"
+    | d :: _ -> Printf.sprintf ", DIVERGED: %s" d)
+
+let pp_report ppf r =
+  Format.fprintf ppf "oracle report for %s (%s):@." r.program
+    (if ok r then "ok" else "FAILED");
+  List.iter (fun e -> Format.fprintf ppf "  %a@." pp_entry e) r.entries

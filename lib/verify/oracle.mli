@@ -1,0 +1,72 @@
+(** Differential oracle: the pure interpreter is ground truth.
+
+    Runs a guest program through [Frontend.Interp] and through the full
+    dynamic-optimization driver under one or more schemes — optionally
+    with a fault-injection {!Fault.plan} layered over each scheme's
+    detector — and compares final guest state (registers and memory,
+    via [Vliw.Machine.equal_guest_state]).  The first divergence is
+    reported as a structured diff; fault and recovery counters ride
+    along so campaigns can report recovery overhead. *)
+
+type entry = {
+  scheme : string;
+  outcome : Runtime.Driver.outcome;
+  stats : Runtime.Stats.t;
+  injected : int;  (** faults injected into this run *)
+  divergence : string list;
+      (** empty = final guest state matches the interpreter;
+          otherwise [Vliw.Machine.diff_guest_state] lines, optimized
+          run vs. oracle *)
+}
+
+type report = {
+  program : string;  (** label for messages *)
+  entries : entry list;
+}
+
+val entry_ok : entry -> bool
+(** Completed and converged to the oracle's state. *)
+
+val ok : report -> bool
+
+val reference : ?fuel:int -> Ir.Program.t -> Vliw.Machine.t
+(** Final machine state of the pure interpreter ([fuel] in
+    instructions, default 200,000,000). *)
+
+val run_scheme :
+  ?config:Vliw.Config.t ->
+  ?fuel:int ->
+  ?tcache_policy:Tcache.Policy.t ->
+  ?tcache_capacity:int ->
+  ?watchdog:int ->
+  ?fault:Fault.plan ->
+  scheme:Smarq.Scheme.t ->
+  Ir.Program.t ->
+  Runtime.Driver.result * int
+(** One optimized run, with [fault]'s detector wrapper and driver
+    hooks installed when given.  Returns the driver result and the
+    number of faults the plan injected {e during this run}.  [fuel]
+    (guest blocks, default 1e9) and [config] (default: derived from
+    the scheme) as in [Smarq.run_program]. *)
+
+val check :
+  ?config:Vliw.Config.t ->
+  ?fuel:int ->
+  ?interp_fuel:int ->
+  ?watchdog:int ->
+  ?fault:(seed:int -> rate:float -> unit -> Fault.plan) ->
+  ?seed:int ->
+  ?rate:float ->
+  ?name:string ->
+  schemes:Smarq.Scheme.t list ->
+  Ir.Program.t ->
+  report
+(** The differential check: interpret once, then run every scheme and
+    diff its final state against the oracle's.  When [fault] is given
+    (e.g. [Fault.plan]), a {e fresh} plan is built from [seed]
+    (default 1) and [rate] (default 0.05) for each scheme, so every
+    scheme faces the same campaign.  Schemes run sequentially in list
+    order; the whole report is deterministic. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp_report : Format.formatter -> report -> unit

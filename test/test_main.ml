@@ -22,5 +22,6 @@ let () =
       Suite_tcache.suite;
       Suite_props.suite;
       Suite_runtime.suite;
+      Suite_verify.suite;
       Suite_exec.suite;
     ]
