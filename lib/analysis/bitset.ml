@@ -1,0 +1,67 @@
+type t = {
+  n : int;
+  bits : Bytes.t;
+}
+
+let bytes_for n = (n + 7) lsr 3
+
+let create n = { n; bits = Bytes.make (bytes_for n) '\000' }
+let length t = t.n
+
+let mem t i =
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  let byte = i lsr 3 in
+  Bytes.unsafe_set t.bits byte
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl (i land 7))))
+
+let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let union_into ~dst src =
+  if dst.n <> src.n then invalid_arg "Bitset.union_into: universe mismatch";
+  let len = Bytes.length dst.bits in
+  for b = 0 to len - 1 do
+    Bytes.unsafe_set dst.bits b
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst.bits b)
+         lor Char.code (Bytes.unsafe_get src.bits b)))
+  done
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+module Matrix = struct
+  type m = {
+    cols : int;
+    stride : int;  (* bytes per row *)
+    bits : Bytes.t;
+  }
+
+  let create ~rows ~cols =
+    let stride = bytes_for cols in
+    { cols; stride; bits = Bytes.make (max 1 (rows * stride)) '\000' }
+
+  let mem m ~row i =
+    Char.code (Bytes.unsafe_get m.bits ((row * m.stride) + (i lsr 3)))
+    land (1 lsl (i land 7))
+    <> 0
+
+  let add m ~row i =
+    let byte = (row * m.stride) + (i lsr 3) in
+    Bytes.unsafe_set m.bits byte
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get m.bits byte) lor (1 lsl (i land 7))))
+
+  let union_rows m ~dst ~src =
+    let d0 = dst * m.stride and s0 = src * m.stride in
+    for b = 0 to m.stride - 1 do
+      Bytes.unsafe_set m.bits (d0 + b)
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get m.bits (d0 + b))
+           lor Char.code (Bytes.unsafe_get m.bits (s0 + b))))
+    done
+end

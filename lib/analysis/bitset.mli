@@ -1,0 +1,36 @@
+(** Dense bitsets over [0, n) backed by [Bytes], plus a rectangular
+    matrix variant used as a reachability cache.
+
+    The dependence and hazard passes index instructions by their body
+    position, so sets of instructions are just sets of small integers;
+    a flat [Bytes] buffer beats hashtables by an order of magnitude for
+    the membership tests and unions those passes are made of. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over the universe [0, n). *)
+
+val length : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val clear : t -> unit
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] adds every element of [src] to [dst]; the two
+    must share a universe size. *)
+
+val iter : (int -> unit) -> t -> unit
+
+(** A matrix of [rows] bitsets, each over [0, cols), in one allocation.
+    Row [i] caches, e.g., the set of body positions reachable from
+    position [i]. *)
+module Matrix : sig
+  type m
+
+  val create : rows:int -> cols:int -> m
+  val mem : m -> row:int -> int -> bool
+  val add : m -> row:int -> int -> unit
+
+  val union_rows : m -> dst:int -> src:int -> unit
+  (** OR row [src] into row [dst]. *)
+end

@@ -25,7 +25,8 @@ type elimination =
 
 type t = {
   all : edge list;
-  into : (int, edge list) Hashtbl.t;
+  into_slot : (int, int) Hashtbl.t;  (* target instr id -> array slot *)
+  into : edge list array;
 }
 
 let strength_of = function
@@ -33,8 +34,12 @@ let strength_of = function
   | May_alias.May_alias -> Some Speculative
   | May_alias.No_alias -> None
 
-(* Real dependences: X before Y, may access same memory, >= 1 store. *)
-let real_edges ~body ~alias =
+(* Real dependences: X before Y, may access same memory, >= 1 store.
+
+   The reference builder is the seed's O(n^2) pairwise loop with a full
+   may-alias verdict per pair; it is kept verbatim as the oracle the
+   swept builder is differentially tested against. *)
+let real_edges_reference ~body ~alias =
   let mems = Array.of_list (List.filter Ir.Instr.is_memory body) in
   let n = Array.length mems in
   let acc = ref [] in
@@ -49,6 +54,197 @@ let real_edges ~body ~alias =
     done
   done;
   List.rev !acc
+
+(* The swept builder produces the same edge list (same pairs, same
+   strengths, same order) without calling the pairwise verdict:
+
+   - Memory operations are bucketed by (base register, generation),
+     where an operation's generation counts the definitions of its base
+     at strictly earlier body positions.  Two same-base operations see
+     an intervening redefinition exactly when their generations differ
+     (a self-defining load bumps the generation of everything after it
+     but not its own, matching [May_alias.defined_in]'s half-open
+     interval).
+   - Within a bucket the displacement intervals decide exactly, so a
+     disp-sorted sweep emits only the overlapping (hard) pairs and
+     never touches the provably disjoint ones.
+   - Across buckets every store-carrying pair is an edge (speculative
+     unless a recorded alias or a constant-base proof upgrades or
+     removes it), so enumerating them costs O(1) per emitted edge.
+   - Recorded alias pairs are folded in out of band: they are the only
+     way a within-bucket disjoint pair becomes an edge.
+
+   Edges are emitted as packed [(i * n + j) * 2 + hard?] keys and
+   sorted at the end, which restores the reference builder's
+   (i, j)-lexicographic order. *)
+let real_edges_swept ~body ~alias =
+  let mems = Array.of_list (List.filter Ir.Instr.is_memory body) in
+  let n = Array.length mems in
+  if n = 0 then []
+  else begin
+    let id = Array.make n 0 in
+    let base = Array.make n (Ir.Reg.R 0) in
+    let disp = Array.make n 0 in
+    let width = Array.make n 1 in
+    let store = Array.make n false in
+    let cbase = Array.make n None in
+    let gen = Array.make n 0 in
+    (* generations: one body walk, counting defs per register *)
+    let def_count : (Ir.Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
+    let slot_of_id = Hashtbl.create (n * 2) in
+    let next = ref 0 in
+    List.iter
+      (fun (ins : Ir.Instr.t) ->
+        (match Ir.Instr.mem_addr ins with
+        | Some a ->
+          let k = !next in
+          incr next;
+          id.(k) <- ins.id;
+          base.(k) <- a.Ir.Instr.base;
+          disp.(k) <- a.Ir.Instr.disp;
+          width.(k) <- Option.value (Ir.Instr.mem_width ins) ~default:1;
+          store.(k) <- Ir.Instr.is_store ins;
+          cbase.(k) <- May_alias.const_base_value alias ins;
+          gen.(k) <-
+            Option.value (Hashtbl.find_opt def_count a.Ir.Instr.base)
+              ~default:0;
+          Hashtbl.replace slot_of_id ins.id k
+        | None -> ());
+        List.iter
+          (fun r ->
+            Hashtbl.replace def_count r
+              (1 + Option.value (Hashtbl.find_opt def_count r) ~default:0))
+          (Ir.Instr.defs ins))
+      body;
+    (* dense bucket ids per (base, generation) *)
+    let bucket_ids : (Ir.Reg.t * int, int) Hashtbl.t = Hashtbl.create 64 in
+    let bucket = Array.make n 0 in
+    let n_buckets = ref 0 in
+    for k = 0 to n - 1 do
+      let key = (base.(k), gen.(k)) in
+      bucket.(k) <-
+        (match Hashtbl.find_opt bucket_ids key with
+        | Some b -> b
+        | None ->
+          let b = !n_buckets in
+          incr n_buckets;
+          Hashtbl.replace bucket_ids key b;
+          b)
+    done;
+    let n_buckets = !n_buckets in
+    (* growable key buffer *)
+    let keys = ref (Array.make 64 0) in
+    let n_keys = ref 0 in
+    let emit i j hard =
+      if !n_keys = Array.length !keys then begin
+        let bigger = Array.make (2 * !n_keys) 0 in
+        Array.blit !keys 0 bigger 0 !n_keys;
+        keys := bigger
+      end;
+      !keys.(!n_keys) <- ((((i * n) + j) lsl 1) lor if hard then 1 else 0);
+      incr n_keys
+    in
+    let members = Array.make n_buckets [] in
+    for k = n - 1 downto 0 do
+      members.(bucket.(k)) <- k :: members.(bucket.(k))
+    done;
+    (* pass 1: within-bucket disp-interval sweep (hard edges only) *)
+    Array.iter
+      (fun ms ->
+        match ms with
+        | [] | [ _ ] -> ()
+        | ms ->
+          let s = Array.of_list ms in
+          Array.sort
+            (fun a b ->
+              let c = Int.compare disp.(a) disp.(b) in
+              if c <> 0 then c else Int.compare a b)
+            s;
+          let k = Array.length s in
+          for u = 0 to k - 2 do
+            let du = disp.(s.(u)) and wu = width.(s.(u)) in
+            let v = ref (u + 1) in
+            while !v < k && disp.(s.(!v)) < du + wu do
+              let a = s.(u) and b = s.(!v) in
+              if store.(a) || store.(b) then
+                emit (min a b) (max a b) true;
+              incr v
+            done
+          done)
+      members;
+    (* pass 2: cross-bucket pairs, O(1) per emitted edge.  Iterating a
+       registered bucket always yields edges (speculative by default),
+       so the registry walk amortizes into the output. *)
+    let stores_in = Array.make n_buckets [] in
+    let mems_in = Array.make n_buckets [] in
+    let store_buckets = ref [] in
+    let mem_buckets = ref [] in
+    for j = 0 to n - 1 do
+      let bj = bucket.(j) in
+      let classify i =
+        (* same bucket is excluded at the registry level *)
+        if May_alias.is_known alias id.(i) id.(j) then Some true
+        else if Ir.Reg.equal base.(i) base.(j) then Some false
+        else
+          match cbase.(i), cbase.(j) with
+          | Some bi, Some bj ->
+            let d1 = bi + disp.(i) and d2 = bj + disp.(j) in
+            if d1 < d2 + width.(j) && d2 < d1 + width.(i) then Some true
+            else None
+          | _ -> Some false
+      in
+      let scan bs lists =
+        List.iter
+          (fun b ->
+            if b <> bj then
+              List.iter
+                (fun i ->
+                  match classify i with
+                  | Some hard -> emit i j hard
+                  | None -> ())
+                lists.(b))
+          bs
+      in
+      if store.(j) then scan !mem_buckets mems_in
+      else scan !store_buckets stores_in;
+      if mems_in.(bj) = [] then mem_buckets := bj :: !mem_buckets;
+      mems_in.(bj) <- j :: mems_in.(bj);
+      if store.(j) then begin
+        if stores_in.(bj) = [] then store_buckets := bj :: !store_buckets;
+        stores_in.(bj) <- j :: stores_in.(bj)
+      end
+    done;
+    (* pass 3: recorded alias pairs that fall inside a bucket but do not
+       overlap — the one case the sweeps above never visit *)
+    List.iter
+      (fun (a, b) ->
+        match Hashtbl.find_opt slot_of_id a, Hashtbl.find_opt slot_of_id b with
+        | Some i, Some j when i <> j ->
+          let i, j = (min i j, max i j) in
+          if
+            (store.(i) || store.(j))
+            && bucket.(i) = bucket.(j)
+            && not
+                 (disp.(i) < disp.(j) + width.(j)
+                 && disp.(j) < disp.(i) + width.(i))
+          then emit i j true
+        | _ -> ())
+      (May_alias.known_pairs alias);
+    let keys = Array.sub !keys 0 !n_keys in
+    Array.sort (fun (a : int) b -> Int.compare a b) keys;
+    Array.fold_right
+      (fun key acc ->
+        let pair = key lsr 1 in
+        let i = pair / n and j = pair mod n in
+        {
+          first = id.(i);
+          second = id.(j);
+          kind = Real;
+          strength = (if key land 1 = 1 then Hard else Speculative);
+        }
+        :: acc)
+      keys []
+  end
 
 let find_instr body id = List.find_opt (fun (i : Ir.Instr.t) -> i.id = id) body
 
@@ -106,8 +302,11 @@ let ext_store_overwritten ~alias ~overwriter ~between =
             })
     between
 
-let build ~body ~alias ?(eliminated = []) () =
-  let real = real_edges ~body ~alias in
+let build ~body ~alias ?(eliminated = []) ?(reference = false) () =
+  let real =
+    if reference then real_edges_reference ~body ~alias
+    else real_edges_swept ~body ~alias
+  in
   let ext =
     List.concat_map
       (fun (elim, between) ->
@@ -136,17 +335,32 @@ let build ~body ~alias ?(eliminated = []) () =
         end)
       (real @ ext)
   in
-  let into = Hashtbl.create 64 in
+  (* int-indexed adjacency: slot per distinct target id, edges kept in
+     occurrence order — the order the allocator consumes them in *)
+  let into_slot = Hashtbl.create 64 in
+  let n_targets = ref 0 in
   List.iter
     (fun e ->
-      let l = Option.value (Hashtbl.find_opt into e.second) ~default:[] in
-      Hashtbl.replace into e.second (e :: l))
+      if not (Hashtbl.mem into_slot e.second) then begin
+        Hashtbl.replace into_slot e.second !n_targets;
+        incr n_targets
+      end)
     all;
-  Hashtbl.iter (fun k l -> Hashtbl.replace into k (List.rev l)) (Hashtbl.copy into);
-  { all; into }
+  let into = Array.make (max 1 !n_targets) [] in
+  List.iter
+    (fun e ->
+      let s = Hashtbl.find into_slot e.second in
+      into.(s) <- e :: into.(s))
+    all;
+  Array.iteri (fun s l -> into.(s) <- List.rev l) into;
+  { all; into_slot; into }
 
 let edges t = t.all
-let edges_into t id = Option.value (Hashtbl.find_opt t.into id) ~default:[]
+
+let edges_into t id =
+  match Hashtbl.find_opt t.into_slot id with
+  | Some s -> t.into.(s)
+  | None -> []
 
 let mem_dep_pairs t =
   List.filter_map

@@ -57,12 +57,21 @@ val build :
   body:Ir.Instr.t list ->
   alias:May_alias.t ->
   ?eliminated:(elimination * Ir.Instr.t list) list ->
+  ?reference:bool ->
   unit ->
   t
 (** [body] is the post-elimination superblock body in original order.
     Each elimination comes with the {e original} instruction list
     between the two endpoints (needed because eliminated instructions
-    are no longer in [body]). *)
+    are no longer in [body]).
+
+    By default real dependences are built by the near-linear swept
+    builder (bucket memory operations by base-register generation;
+    decide within-bucket pairs with a displacement-sorted interval
+    sweep; enumerate cross-bucket pairs output-sensitively).
+    [~reference:true] selects the seed O(n{^ 2}) pairwise builder
+    instead; both produce the same edge list in the same order, and the
+    test suite checks them against each other. *)
 
 val edges : t -> edge list
 

@@ -92,6 +92,16 @@ let verdict t (x : Ir.Instr.t) (y : Ir.Instr.t) =
       end
     | _ -> No_alias
 
+let is_known t a b = Hashtbl.mem t.known (norm_pair a b)
+
+let known_pairs t = Hashtbl.fold (fun p () acc -> p :: acc) t.known []
+
+let const_base_value t (x : Ir.Instr.t) =
+  match t.const_facts, Ir.Instr.mem_addr x with
+  | Some facts, Some ax ->
+    Const_prop.base_value_at facts ~instr_id:x.Ir.Instr.id ax.Ir.Instr.base
+  | _ -> None
+
 let pp_verdict ppf = function
   | No_alias -> Format.pp_print_string ppf "no-alias"
   | Must_alias -> Format.pp_print_string ppf "must-alias"

@@ -41,4 +41,17 @@ val verdict : t -> Ir.Instr.t -> Ir.Instr.t -> verdict
 val add_known_alias : t -> int -> int -> unit
 (** Record a runtime-detected alias pair. *)
 
+val is_known : t -> int -> int -> bool
+(** Is the (unordered) instruction-id pair a recorded alias? *)
+
+val known_pairs : t -> (int * int) list
+(** The recorded alias pairs, normalized to [(min, max)] id order; used
+    by the swept dependence builder, which handles them out of band. *)
+
+val const_base_value : t -> Ir.Instr.t -> int option
+(** The provably constant value of a memory operation's base register
+    at that operation, when constant facts were supplied — the input to
+    the cross-base direct verdict, exposed so {!Depgraph} can evaluate
+    it once per operation instead of once per pair. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -13,16 +13,18 @@ type t = {
 }
 
 let build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
-    (sb : Ir.Superblock.t) =
+    ~pipeline ~profile (sb : Ir.Superblock.t) =
+  let module P = Sched.Profile in
   let facts_for body =
     if policy.Sched.Policy.static_disambiguation then
       Some (Analysis.Const_prop.analyze ~body)
     else None
   in
   let alias =
-    Analysis.May_alias.analyze ~known_alias
-      ?const_facts:(facts_for sb.Ir.Superblock.body)
-      ~body:sb.Ir.Superblock.body ()
+    P.time profile P.add_alias (fun () ->
+        Analysis.May_alias.analyze ~known_alias
+          ?const_facts:(facts_for sb.Ir.Superblock.body)
+          ~body:sb.Ir.Superblock.body ())
   in
   let elim =
     Elim.run ~policy ~alias ~body:sb.Ir.Superblock.body ~fresh_id
@@ -30,25 +32,34 @@ let build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
   let sb' = { sb with Ir.Superblock.body = elim.Elim.body } in
   (* positions changed: rebuild the analysis over the final body *)
   let alias' =
-    Analysis.May_alias.analyze ~known_alias
-      ?const_facts:(facts_for elim.Elim.body)
-      ~body:elim.Elim.body ()
+    P.time profile P.add_alias (fun () ->
+        Analysis.May_alias.analyze ~known_alias
+          ?const_facts:(facts_for elim.Elim.body)
+          ~body:elim.Elim.body ())
   in
   let deps =
-    Analysis.Depgraph.build ~body:elim.Elim.body ~alias:alias'
-      ~eliminated:elim.Elim.eliminations ()
+    P.time profile P.add_depgraph (fun () ->
+        Analysis.Depgraph.build ~body:elim.Elim.body ~alias:alias'
+          ~eliminated:elim.Elim.eliminations
+          ~reference:(Sched.Pipeline.is_reference pipeline)
+          ())
   in
   let outcome =
     Sched.List_sched.schedule ~sb:sb' ~deps ~policy ~issue_width ~mem_ports
-      ~latency ~fresh_id ~extra_assumed:elim.Elim.assumed_no_alias ()
+      ~latency ~fresh_id ~extra_assumed:elim.Elim.assumed_no_alias ~pipeline
+      ?profile ()
   in
   (outcome, elim)
 
 let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
-    ?(known_alias = []) sb =
+    ?(known_alias = []) ?(pipeline = Sched.Pipeline.Fast) ?profile sb =
   let work_units = 2 * Ir.Superblock.instr_count sb in
   let finish ~fell_back
       ((outcome : Sched.List_sched.outcome), (elim : Elim.result)) =
+    Option.iter
+      (fun p ->
+        Sched.Profile.note_region p ~instrs:(Ir.Superblock.instr_count sb))
+      profile;
     {
       region = outcome.Sched.List_sched.region;
       alloc_result = outcome.Sched.List_sched.alloc_result;
@@ -64,7 +75,7 @@ let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
   in
   let attempt policy =
     build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
-      sb
+      ~pipeline ~profile sb
   in
   let has_elims =
     policy.Sched.Policy.allow_load_load_forward

@@ -34,5 +34,12 @@ val optimize :
   latency:(Ir.Instr.t -> int) ->
   fresh_id:int ref ->
   ?known_alias:(int * int) list ->
+  ?pipeline:Sched.Pipeline.t ->
+  ?profile:Sched.Profile.t ->
   Ir.Superblock.t ->
   t
+(** [pipeline] selects the fast (default) or reference translation
+    pipeline — both produce bit-identical regions.  [profile], when
+    given, accumulates per-phase translation timers and per-region
+    instruction counts across every attempt (including fallback
+    rebuilds). *)

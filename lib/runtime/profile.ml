@@ -1,0 +1,38 @@
+type t = Sched.Profile.t
+
+let create = Sched.Profile.create
+let accumulate = Sched.Profile.accumulate
+let reset = Sched.Profile.reset
+let total = Sched.Profile.total
+
+let regions_per_second (p : t) =
+  let s = total p in
+  if s <= 0.0 then 0.0 else float_of_int p.Sched.Profile.regions /. s
+
+let instrs_per_second (p : t) =
+  let s = total p in
+  if s <= 0.0 then 0.0 else float_of_int p.Sched.Profile.instrs /. s
+
+let phases (p : t) =
+  [
+    ("alias", p.Sched.Profile.alias_s);
+    ("depgraph", p.Sched.Profile.depgraph_s);
+    ("hazards", p.Sched.Profile.hazards_s);
+    ("alloc", p.Sched.Profile.alloc_s);
+    ("sched", p.Sched.Profile.sched_s);
+    ("emit", p.Sched.Profile.emit_s);
+  ]
+
+let pp ppf (p : t) =
+  if total p > 0.0 then begin
+    Format.fprintf ppf "  %-26s %.4f s (%d regions, %d instrs)@."
+      "translate time" (total p) p.Sched.Profile.regions
+      p.Sched.Profile.instrs;
+    List.iter
+      (fun (name, s) ->
+        if s > 0.0 then
+          Format.fprintf ppf "    %-24s %.4f s@." (name ^ " phase") s)
+      (phases p);
+    Format.fprintf ppf "  %-26s %.1f@." "regions / second"
+      (regions_per_second p)
+  end

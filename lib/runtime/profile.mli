@@ -1,0 +1,27 @@
+(** Aggregate per-phase translation profile for a driver run.
+
+    A thin view over {!Sched.Profile}: the driver owns one collector,
+    threads it through every {!Opt.Optimizer.optimize} call (initial
+    builds and re-optimizations alike), and surfaces it in
+    {!Runtime.Stats}.  All timers are host wall-clock seconds —
+    non-deterministic, so run-equality comparisons must zero them out,
+    like {!Runtime.Stats.wall_seconds}. *)
+
+type t = Sched.Profile.t
+
+val create : unit -> t
+val accumulate : into:t -> t -> unit
+val reset : t -> unit
+
+val total : t -> float
+(** Sum of all phase timers. *)
+
+val regions_per_second : t -> float
+val instrs_per_second : t -> float
+
+val phases : t -> (string * float) list
+(** [(phase name, seconds)] in pipeline order — the benchmark's JSON
+    fields. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints nothing when no time was recorded. *)

@@ -39,8 +39,10 @@ type t = {
   mutable stores_eliminated : int;
   mutable overflow_fallbacks : int;
   mutable nonspec_mode_regions : int;
+  mutable dropped_edges : int;
   mutable working_set : Sched.Working_set.t;
   mutable wall_seconds : float;
+  mutable translate : Profile.t;
 }
 
 let create () =
@@ -83,8 +85,10 @@ let create () =
     stores_eliminated = 0;
     overflow_fallbacks = 0;
     nonspec_mode_regions = 0;
+    dropped_edges = 0;
     working_set = Sched.Working_set.zero;
     wall_seconds = 0.0;
+    translate = Profile.create ();
   }
 
 let note_region_built t (o : Opt.Optimizer.t) ~ws =
@@ -108,6 +112,7 @@ let note_region_built t (o : Opt.Optimizer.t) ~ws =
     t.overflow_fallbacks <- t.overflow_fallbacks + 1;
   if ss.Sched.List_sched.used_nonspec_mode then
     t.nonspec_mode_regions <- t.nonspec_mode_regions + 1;
+  t.dropped_edges <- t.dropped_edges + ss.Sched.List_sched.dropped_pairs;
   t.working_set <- Sched.Working_set.add t.working_set ws
 
 let note_tcache t (tel : Tcache.Telemetry.t) =
@@ -170,8 +175,10 @@ let pp ppf t =
   f "check constraints" t.check_constraints;
   f "anti constraints" t.anti_constraints;
   f "AMOVs (fresh/clear)" (t.amov_fresh + t.amov_clear);
+  f "dropped edges" t.dropped_edges;
   f "alias checks" t.alias_checks;
   Format.fprintf ppf "  %-26s %.2f@." "mem ops / superblock"
     (mem_ops_per_superblock t);
   if t.wall_seconds > 0.0 then
-    Format.fprintf ppf "  %-26s %.3f s@." "host wall clock" t.wall_seconds
+    Format.fprintf ppf "  %-26s %.3f s@." "host wall clock" t.wall_seconds;
+  Profile.pp ppf t.translate

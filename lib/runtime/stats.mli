@@ -56,12 +56,19 @@ type t = {
   mutable stores_eliminated : int;
   mutable overflow_fallbacks : int;
   mutable nonspec_mode_regions : int;
+  mutable dropped_edges : int;
+      (** speculated-away may-alias dependence pairs, summed over all
+          regions built — the speculation volume behind the rollback
+          counters *)
   mutable working_set : Sched.Working_set.t;
   (* host cost *)
   mutable wall_seconds : float;
       (** wall-clock host time of the driver run that produced these
-          stats; the only non-deterministic field (excluded from
-          run-equality comparisons) *)
+          stats; non-deterministic (excluded from run-equality
+          comparisons, together with [translate]) *)
+  mutable translate : Profile.t;
+      (** per-phase translation timers and per-region instruction
+          counts, accumulated across every optimize call of the run *)
 }
 
 val create : unit -> t

@@ -1,119 +1,246 @@
 type t = {
-  preds : (int, int list) Hashtbl.t;
-  succs : (int, int list) Hashtbl.t;
+  ids : int array;
+  index : (int, int) Hashtbl.t;
+  preds_of : int list array;
+  succs_of : int list array;
   dropped : (int * int) list;
 }
 
-let add_edge ~preds ~succs ~seen a b =
-  if a <> b && not (Hashtbl.mem seen (a, b)) then begin
-    Hashtbl.replace seen (a, b) ();
-    let p = Option.value (Hashtbl.find_opt preds b) ~default:[] in
-    Hashtbl.replace preds b (a :: p);
-    let s = Option.value (Hashtbl.find_opt succs a) ~default:[] in
-    Hashtbl.replace succs a (b :: s)
-  end
-
-(* RAW, WAR, WAW edges over the straight-line body. *)
-let register_edges ~body ~add =
+(* RAW, WAR, WAW edges over the straight-line body (positions). *)
+let register_edges ~arr ~add =
   let last_def : (Ir.Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
   let uses_since_def : (Ir.Reg.t, int list) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun (i : Ir.Instr.t) ->
+  Array.iteri
+    (fun pos (i : Ir.Instr.t) ->
       List.iter
         (fun r ->
           (* RAW: reader depends on the last writer *)
           (match Hashtbl.find_opt last_def r with
-          | Some d -> add d i.id
+          | Some d -> add d pos
           | None -> ());
           let l = Option.value (Hashtbl.find_opt uses_since_def r) ~default:[] in
-          Hashtbl.replace uses_since_def r (i.id :: l))
+          Hashtbl.replace uses_since_def r (pos :: l))
         (Ir.Instr.uses i);
       List.iter
         (fun r ->
           (* WAW on the previous writer, WAR on readers since then *)
           (match Hashtbl.find_opt last_def r with
-          | Some d -> add d i.id
+          | Some d -> add d pos
           | None -> ());
           List.iter
-            (fun u -> add u i.id)
+            (fun u -> add u pos)
             (Option.value (Hashtbl.find_opt uses_since_def r) ~default:[]);
-          Hashtbl.replace last_def r i.id;
+          Hashtbl.replace last_def r pos;
           Hashtbl.replace uses_since_def r [])
         (Ir.Instr.defs i))
-    body
+    arr
 
 (* Memory edges: hard dependences always; speculative ones unless the
    policy may drop them. *)
-let memory_edges ~body ~deps ~policy ~add =
-  let by_id = Hashtbl.create 64 in
-  List.iter (fun (i : Ir.Instr.t) -> Hashtbl.replace by_id i.id i) body;
+let memory_edges ~arr ~pos_of ~deps ~policy ~add =
   let dropped = ref [] in
   List.iter
     (fun (first, second, strength) ->
-      match strength with
-      | Analysis.Depgraph.Hard -> add first second
-      | Analysis.Depgraph.Speculative ->
-        (match Hashtbl.find_opt by_id first, Hashtbl.find_opt by_id second with
-        | Some fi, Some si ->
-          if Policy.may_drop_edge policy ~first:fi ~second:si then
+      match Hashtbl.find_opt pos_of first, Hashtbl.find_opt pos_of second with
+      | Some pf, Some ps ->
+        (match strength with
+        | Analysis.Depgraph.Hard -> add pf ps
+        | Analysis.Depgraph.Speculative ->
+          if Policy.may_drop_edge policy ~first:arr.(pf) ~second:arr.(ps) then
             dropped := (first, second) :: !dropped
-          else add first second
-        | _ -> add first second))
+          else add pf ps)
+      | _ -> ())
     (Analysis.Depgraph.mem_dep_pairs deps);
   !dropped
 
-(* Control edges around side exits:
-   - branch-branch program order;
-   - a store or a definition of a register live at an exit stays on
-     its original side of that exit (edges in both directions). *)
-let control_edges ~sb ~add =
-  let body = sb.Ir.Superblock.body in
+let crosses_exit_blocked (i : Ir.Instr.t) live =
+  Ir.Instr.is_store i
+  || List.exists (fun r -> Ir.Reg.Set.mem r live) (Ir.Instr.defs i)
+
+(* Branch-branch program order: consecutive side exits chain, which
+   also carries exit-fence transitivity for the reduced builder. *)
+let branch_chain ~arr ~add =
   let last_branch = ref None in
-  List.iter
-    (fun (i : Ir.Instr.t) ->
+  Array.iteri
+    (fun pos (i : Ir.Instr.t) ->
       if Ir.Instr.is_side_exit i then begin
         (match !last_branch with
-        | Some b -> add b i.id
+        | Some b -> add b pos
         | None -> ());
-        last_branch := Some i.id
+        last_branch := Some pos
       end)
-    body;
-  let crosses_exit_blocked (i : Ir.Instr.t) live =
-    Ir.Instr.is_store i
-    || List.exists (fun r -> Ir.Reg.Set.mem r live) (Ir.Instr.defs i)
-  in
-  let arr = Array.of_list body in
+    arr
+
+(* Control edges around side exits, seed form: for every (instruction,
+   exit) pair whose crossing is blocked, an explicit edge — O(n^2). *)
+let control_edges_reference ~sb ~arr ~add =
+  branch_chain ~arr ~add;
   let n = Array.length arr in
   let exits = ref [] in
   for idx = 0 to n - 1 do
     let i = arr.(idx) in
     if Ir.Instr.is_side_exit i then begin
-      let live = Ir.Superblock.exit_live_out sb i.id in
+      let live = Ir.Superblock.exit_live_out sb i.Ir.Instr.id in
       (* earlier instructions that must stay before this exit *)
       for k = 0 to idx - 1 do
         let j = arr.(k) in
         if (not (Ir.Instr.is_side_exit j)) && crosses_exit_blocked j live then
-          add j.id i.id
+          add k idx
       done;
-      exits := (i.id, live) :: !exits
+      exits := (idx, live) :: !exits
     end
     else
       (* later instruction blocked from hoisting above earlier exits *)
       List.iter
-        (fun (bid, live) ->
-          if crosses_exit_blocked i live then add bid i.id)
+        (fun (bpos, live) -> if crosses_exit_blocked i live then add bpos idx)
         !exits
   done
 
-let build ~sb ~deps ~policy =
-  let preds = Hashtbl.create 256 and succs = Hashtbl.create 256 in
-  let seen = Hashtbl.create 1024 in
-  let add a b = add_edge ~preds ~succs ~seen a b in
-  let body = sb.Ir.Superblock.body in
-  register_edges ~body ~add;
-  let dropped = memory_edges ~body ~deps ~policy ~add in
-  control_edges ~sb ~add;
-  { preds; succs; dropped }
+(* Reduced control edges: one backward and one forward sweep.
 
-let preds t id = Option.value (Hashtbl.find_opt t.preds id) ~default:[]
-let succs t id = Option.value (Hashtbl.find_opt t.succs id) ~default:[]
+   Per instruction only two exit edges are emitted — to the nearest
+   following exit that blocks it and from the latest preceding exit
+   that blocks it.  The branch chain supplies transitivity: if j is
+   blocked at exit e then it is blocked-by-order at every exit after e
+   (forward) resp. before e (backward), so the chained graph has the
+   same transitive closure as the seed's all-pairs form.  Since every
+   latency is >= 1, equal closure means the list scheduler makes
+   identical decisions (see DESIGN.md, "Translation pipeline").
+
+   Blockedness is per-exit (it depends on the exit's live-out set), so
+   the sweeps track, per register, the nearest exit at which that
+   register is live; stores are blocked at every exit. *)
+let control_edges_reduced ~sb ~arr ~add =
+  branch_chain ~arr ~add;
+  let n = Array.length arr in
+  (* forward sweep: latest preceding blocked exit per instruction *)
+  let latest_exit = ref (-1) in
+  let latest_live : (Ir.Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
+  for idx = 0 to n - 1 do
+    let i = arr.(idx) in
+    if Ir.Instr.is_side_exit i then begin
+      let live = Ir.Superblock.exit_live_out sb i.Ir.Instr.id in
+      latest_exit := idx;
+      Ir.Reg.Set.iter (fun r -> Hashtbl.replace latest_live r idx) live
+    end
+    else begin
+      let e =
+        if Ir.Instr.is_store i then !latest_exit
+        else
+          List.fold_left
+            (fun acc r ->
+              max acc (Option.value (Hashtbl.find_opt latest_live r) ~default:(-1)))
+            (-1) (Ir.Instr.defs i)
+      in
+      if e >= 0 then add e idx
+    end
+  done;
+  (* backward sweep: nearest following blocked exit per instruction *)
+  let next_exit = ref (-1) in
+  let next_live : (Ir.Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
+  for idx = n - 1 downto 0 do
+    let i = arr.(idx) in
+    if Ir.Instr.is_side_exit i then begin
+      let live = Ir.Superblock.exit_live_out sb i.Ir.Instr.id in
+      next_exit := idx;
+      Ir.Reg.Set.iter (fun r -> Hashtbl.replace next_live r idx) live
+    end
+    else begin
+      let e =
+        if Ir.Instr.is_store i then !next_exit
+        else
+          List.fold_left
+            (fun acc r ->
+              match Hashtbl.find_opt next_live r with
+              | Some e -> if acc < 0 then e else min acc e
+              | None -> acc)
+            (-1) (Ir.Instr.defs i)
+      in
+      if e >= 0 then add idx e
+    end
+  done
+
+(* On-the-fly transitive reduction.  All edges run forward in body
+   position, so processing nodes in reverse order with a Bytes-backed
+   reachability row per node lets each successor list be pruned with
+   one bitset probe per edge: walking successors in ascending position,
+   an edge is redundant exactly when its target is already reachable
+   through a kept predecessor-in-the-list.  Equal transitive closure
+   with unit-or-larger latencies preserves the schedule bit for bit.
+
+   The matrix costs n^2 bits and each kept edge a row union, so
+   pathologically dense graphs skip the reduction (deterministically —
+   the choice depends only on the graph, never on timing). *)
+let transitive_reduce ~n ~edge_count succs_pos =
+  let row_bytes = (n + 7) / 8 in
+  if n = 0 || n > 8192 || edge_count * row_bytes > 64_000_000 then ()
+  else begin
+    let m = Analysis.Bitset.Matrix.create ~rows:n ~cols:n in
+    for v = n - 1 downto 0 do
+      let ss = List.sort_uniq Int.compare succs_pos.(v) in
+      let kept =
+        List.filter
+          (fun u ->
+            if Analysis.Bitset.Matrix.mem m ~row:v u then false
+            else begin
+              Analysis.Bitset.Matrix.add m ~row:v u;
+              Analysis.Bitset.Matrix.union_rows m ~dst:v ~src:u;
+              true
+            end)
+          ss
+      in
+      succs_pos.(v) <- kept
+    done
+  end
+
+let build ~sb ~deps ~policy ?(reference = false) () =
+  let body = sb.Ir.Superblock.body in
+  let arr = Array.of_list body in
+  let n = Array.length arr in
+  let ids = Array.map (fun (i : Ir.Instr.t) -> i.Ir.Instr.id) arr in
+  let index = Hashtbl.create (2 * max 1 n) in
+  Array.iteri (fun pos id -> Hashtbl.replace index id pos) ids;
+  let succs_pos = Array.make (max 1 n) [] in
+  let seen = Hashtbl.create 1024 in
+  let edge_count = ref 0 in
+  let add a b =
+    if a <> b then begin
+      let key = (a * n) + b in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        succs_pos.(a) <- b :: succs_pos.(a);
+        incr edge_count
+      end
+    end
+  in
+  register_edges ~arr ~add;
+  let dropped = memory_edges ~arr ~pos_of:index ~deps ~policy ~add in
+  if reference then control_edges_reference ~sb ~arr ~add
+  else begin
+    control_edges_reduced ~sb ~arr ~add;
+    transitive_reduce ~n ~edge_count:!edge_count succs_pos
+  end;
+  let preds_of = Array.make (max 1 n) [] in
+  let succs_of = Array.make (max 1 n) [] in
+  for a = 0 to n - 1 do
+    List.iter
+      (fun b ->
+        preds_of.(b) <- ids.(a) :: preds_of.(b);
+        succs_of.(a) <- ids.(b) :: succs_of.(a))
+      succs_pos.(a)
+  done;
+  (* normalized speculation record: ascending (first, second), no dups *)
+  let dropped = List.sort_uniq compare dropped in
+  { ids; index; preds_of; succs_of; dropped }
+
+let preds t id =
+  match Hashtbl.find_opt t.index id with
+  | Some pos -> t.preds_of.(pos)
+  | None -> []
+
+let succs t id =
+  match Hashtbl.find_opt t.index id with
+  | Some pos -> t.succs_of.(pos)
+  | None -> []
+
+let instr_ids t = t.ids

@@ -10,11 +10,25 @@
       never crosses that exit; branches stay ordered among themselves.
 
     Dropped may-alias edges are returned separately — they are the
-    speculation assumptions the region records for re-optimization. *)
+    speculation assumptions the region records for re-optimization.
+    The list is normalized: ascending (first, second) order, no
+    duplicates.
+
+    The default builder emits the {e reduced} graph: exit fences become
+    two edges per instruction (nearest blocking exit on each side, with
+    the branch chain carrying transitivity) instead of all blocked
+    (instruction, exit) pairs, and a transitive reduction prunes
+    redundant edges.  Because every latency is at least one cycle, any
+    edge set with the seed's transitive closure schedules identically
+    (see DESIGN.md); [~reference:true] requests the seed's explicit
+    all-pairs, unreduced graph, which the differential tests compare
+    against. *)
 
 type t = {
-  preds : (int, int list) Hashtbl.t;  (** instr id -> predecessor ids *)
-  succs : (int, int list) Hashtbl.t;
+  ids : int array;  (** instruction ids in body order *)
+  index : (int, int) Hashtbl.t;  (** instr id -> body position *)
+  preds_of : int list array;  (** body position -> predecessor ids *)
+  succs_of : int list array;  (** body position -> successor ids *)
   dropped : (int * int) list;  (** speculated-away may-alias pairs *)
 }
 
@@ -22,7 +36,13 @@ val build :
   sb:Ir.Superblock.t ->
   deps:Analysis.Depgraph.t ->
   policy:Policy.t ->
+  ?reference:bool ->
+  unit ->
   t
 
 val preds : t -> int -> int list
 val succs : t -> int -> int list
+
+val instr_ids : t -> int array
+(** Instruction ids in body order — the dense index shared with the
+    scheduler. *)

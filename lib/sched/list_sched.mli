@@ -49,6 +49,8 @@ val schedule :
   latency:(Ir.Instr.t -> int) ->
   fresh_id:int ref ->
   ?extra_assumed:(int * int) list ->
+  ?pipeline:Pipeline.t ->
+  ?profile:Profile.t ->
   unit ->
   outcome
 (** [extra_assumed] lists speculation assumptions made by earlier
@@ -56,4 +58,10 @@ val schedule :
     region together with the dropped dependence pairs.  May raise
     {!Smarq_alloc.Overflow} when even non-speculation mode cannot fit
     the physical alias registers — callers fall back to a
-    non-speculative build of the region. *)
+    non-speculative build of the region.
+
+    [pipeline] selects between the incremental ready-queue scheduler
+    over the reduced hazard graph ({!Pipeline.Fast}, default) and the
+    seed per-cycle rescan over the unreduced graph
+    ({!Pipeline.Reference}); both produce bit-identical regions.
+    [profile] accumulates per-phase translation timers when given. *)

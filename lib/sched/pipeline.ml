@@ -1,0 +1,11 @@
+type t =
+  | Fast
+  | Reference
+
+let is_reference = function Reference -> true | Fast -> false
+let to_string = function Fast -> "fast" | Reference -> "reference"
+
+let of_string = function
+  | "fast" -> Some Fast
+  | "reference" | "ref" | "seed" -> Some Reference
+  | _ -> None

@@ -1,0 +1,16 @@
+(** Translation-pipeline selector.
+
+    [Fast] (the default everywhere) is the O(n log n) pipeline: swept
+    dependence builder, reduced hazard graph, heap-based list
+    scheduler.  [Reference] is the seed's quadratic implementation of
+    all three, kept as the oracle: both pipelines must produce
+    bit-identical regions, which the differential property tests and
+    the translate benchmark check. *)
+
+type t =
+  | Fast
+  | Reference
+
+val is_reference : t -> bool
+val to_string : t -> string
+val of_string : string -> t option

@@ -212,7 +212,13 @@ let small_matrix () =
         [ Smarq.Scheme.None_; Smarq.Scheme.Smarq 64; Smarq.Scheme.Alat ])
     [ "wupwise"; "mesa"; "art" ]
 
-let strip_wall (st : Runtime.Stats.t) = { st with Runtime.Stats.wall_seconds = 0.0 }
+(* zero out the host-timing fields — the only non-deterministic ones *)
+let strip_wall (st : Runtime.Stats.t) =
+  {
+    st with
+    Runtime.Stats.wall_seconds = 0.0;
+    translate = Runtime.Profile.create ();
+  }
 
 let test_run_matrix_determinism () =
   let seq = Exec.Matrix.run_matrix ~domains:1 (small_matrix ()) in

@@ -123,7 +123,7 @@ let prop_schedule_respects_hazards (seed, params) =
   let alias = Analysis.May_alias.analyze ~body () in
   let deps = Analysis.Depgraph.build ~body ~alias () in
   let policy = Sched.Policy.smarq ~ar_count:64 in
-  let hazards = Sched.Hazards.build ~sb ~deps ~policy in
+  let hazards = Sched.Hazards.build ~sb ~deps ~policy () in
   let fresh_id = ref 100_000 in
   let outcome =
     Sched.List_sched.schedule ~sb ~deps ~policy ~issue_width:4 ~mem_ports:2

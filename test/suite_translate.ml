@@ -1,0 +1,237 @@
+(* Differential tests for the O(n log n) translation pipeline: the
+   swept dependence builder, the reduced hazard graph, and the heap
+   scheduler must be indistinguishable from the seed implementations —
+   identical edge lists for the depgraph, identical reachability for
+   hazards, and bit-identical schedules (hence guest state and cycle
+   counts) end to end. *)
+
+open Helpers
+module I = Ir.Instr
+
+let params_gen =
+  QCheck.Gen.(
+    let* n_instrs = int_range 10 120 in
+    let* mem_fraction = float_range 0.2 0.8 in
+    let* store_fraction = float_range 0.1 0.7 in
+    let* n_bases = int_range 1 6 in
+    let* collide_fraction = float_range 0.0 0.5 in
+    let* exits = opt (int_range 6 20) in
+    return
+      Workload.Genprog.
+        {
+          n_instrs;
+          mem_fraction;
+          store_fraction;
+          n_bases;
+          collide_fraction;
+          side_exit_every = exits;
+        })
+
+let sb_arb =
+  QCheck.make
+    ~print:(fun (seed, p) ->
+      Printf.sprintf "seed=%d n=%d mem=%.2f st=%.2f bases=%d collide=%.2f"
+        seed p.Workload.Genprog.n_instrs p.Workload.Genprog.mem_fraction
+        p.Workload.Genprog.store_fraction p.Workload.Genprog.n_bases
+        p.Workload.Genprog.collide_fraction)
+    QCheck.Gen.(pair (int_bound 1_000_000) params_gen)
+
+(* Seed some recorded alias pairs so the swept builder's out-of-band
+   known-pair pass is exercised, including same-bucket disjoint pairs
+   that neither sweep would otherwise visit. *)
+let known_pairs_of ~seed body =
+  let mems = List.filter I.is_memory body in
+  let ids = List.map (fun (i : I.t) -> i.I.id) mems in
+  match ids with
+  | a :: b :: c :: d :: _ when seed land 1 = 0 -> [ (a, d); (b, c) ]
+  | a :: _ :: b :: _ when seed land 3 = 1 -> [ (b, a) ]
+  | _ -> []
+
+let depgraphs_of (seed, params) =
+  let sb, _ = Workload.Genprog.superblock ~seed ~params in
+  let body = sb.Ir.Superblock.body in
+  let known_alias = known_pairs_of ~seed body in
+  let const_facts = Analysis.Const_prop.analyze ~body in
+  let alias = Analysis.May_alias.analyze ~known_alias ~const_facts ~body () in
+  let fast = Analysis.Depgraph.build ~body ~alias () in
+  let slow = Analysis.Depgraph.build ~body ~alias ~reference:true () in
+  (body, fast, slow)
+
+(* The swept builder must reproduce the pairwise builder's edge list
+   exactly — same pairs, same strengths, same order. *)
+let prop_depgraph_equal input =
+  let _, fast, slow = depgraphs_of input in
+  let pr d =
+    Format.asprintf "%a" Analysis.Depgraph.pp d |> fun s ->
+    if String.length s > 2000 then String.sub s 0 2000 else s
+  in
+  if Analysis.Depgraph.edges fast = Analysis.Depgraph.edges slow then true
+  else
+    QCheck.Test.fail_reportf "swept/reference mismatch@.fast:@.%s@.ref:@.%s"
+      (pr fast) (pr slow)
+
+(* edges_into must agree per target id as well (the allocator's view). *)
+let prop_edges_into_equal input =
+  let body, fast, slow = depgraphs_of input in
+  List.for_all
+    (fun (i : I.t) ->
+      Analysis.Depgraph.edges_into fast i.I.id
+      = Analysis.Depgraph.edges_into slow i.I.id)
+    body
+
+(* The reduced hazard graph (two-edge exit fences + transitive
+   reduction) must have exactly the seed graph's transitive closure,
+   and its edges must be a subset of the seed closure. *)
+let hazards_of ~policy (seed, params) =
+  let sb, _ = Workload.Genprog.superblock ~seed ~params in
+  let body = sb.Ir.Superblock.body in
+  let alias = Analysis.May_alias.analyze ~body () in
+  let deps = Analysis.Depgraph.build ~body ~alias () in
+  let fast = Sched.Hazards.build ~sb ~deps ~policy () in
+  let slow = Sched.Hazards.build ~sb ~deps ~policy ~reference:true () in
+  (body, fast, slow)
+
+let closure h body =
+  (* reachable-from sets by id, memoized in reverse body order (the
+     graph only runs forward in body position) *)
+  let reach : (int, unit) Hashtbl.t array =
+    Array.make (List.length body) (Hashtbl.create 0)
+  in
+  let index = Hashtbl.create 64 in
+  List.iteri (fun p (i : I.t) -> Hashtbl.replace index i.I.id p) body;
+  let arr = Array.of_list body in
+  for p = Array.length arr - 1 downto 0 do
+    let t = Hashtbl.create 8 in
+    List.iter
+      (fun sid ->
+        Hashtbl.replace t sid ();
+        Hashtbl.iter
+          (fun x () -> Hashtbl.replace t x ())
+          reach.(Hashtbl.find index sid))
+      (Sched.Hazards.succs h arr.(p).I.id);
+    reach.(p) <- t
+  done;
+  fun a b ->
+    match Hashtbl.find_opt index a with
+    | Some p -> Hashtbl.mem reach.(p) b
+    | None -> false
+
+let prop_hazard_closure_equal (seed, params) =
+  List.for_all
+    (fun policy ->
+      let body, fast, slow = hazards_of ~policy (seed, params) in
+      let fast_reaches = closure fast body and slow_reaches = closure slow body in
+      List.for_all
+        (fun (a : I.t) ->
+          List.for_all
+            (fun (b : I.t) ->
+              fast_reaches a.I.id b.I.id = slow_reaches a.I.id b.I.id)
+            body)
+        body)
+    [ Sched.Policy.smarq ~ar_count:64; Sched.Policy.none () ]
+
+(* Every edge the reduced builder keeps exists in the seed graph too:
+   reduction and reduced fences only ever remove redundancy, never
+   invent precedence. *)
+let prop_reduced_edges_subset (seed, params) =
+  let body, fast, slow =
+    hazards_of ~policy:(Sched.Policy.smarq ~ar_count:64) (seed, params)
+  in
+  let slow_reaches = closure slow body in
+  List.for_all
+    (fun (a : I.t) ->
+      List.for_all
+        (fun sid -> slow_reaches a.I.id sid)
+        (Sched.Hazards.succs fast a.I.id))
+    body
+
+(* dropped is normalized — ascending (first, second), duplicate-free —
+   and agrees with the reference builder's set. *)
+let prop_dropped_normalized (seed, params) =
+  let _, fast, slow =
+    hazards_of ~policy:(Sched.Policy.smarq ~ar_count:64) (seed, params)
+  in
+  let d = Sched.Hazards.(fast.dropped) in
+  let sorted_nodup = List.sort_uniq compare d = d in
+  sorted_nodup
+  && List.sort_uniq compare Sched.Hazards.(slow.dropped) = d
+
+(* End to end through the full dynamic system: for every scheme, the
+   fast and reference pipelines must agree on the final guest state AND
+   on every deterministic statistic — total cycles above all. *)
+let prog_arb =
+  QCheck.make
+    ~print:(fun (seed, loops, iters) ->
+      Printf.sprintf "seed=%d loops=%d iters=%d" seed loops iters)
+    QCheck.Gen.(triple (int_bound 1_000_000) (int_range 1 3) (int_range 60 200))
+
+let strip_timing (st : Runtime.Stats.t) =
+  {
+    st with
+    Runtime.Stats.wall_seconds = 0.0;
+    translate = Runtime.Profile.create ();
+  }
+
+let prop_pipelines_bit_identical (seed, loops, iters) =
+  let program = Workload.Genprog.program ~seed ~n_loops:loops ~iters in
+  List.for_all
+    (fun scheme ->
+      let run pipeline =
+        Smarq.run_program ~fuel:50_000_000 ~pipeline ~scheme program
+      in
+      let fast = run Sched.Pipeline.Fast
+      and slow = run Sched.Pipeline.Reference in
+      Vliw.Machine.equal_guest_state fast.Runtime.Driver.machine
+        slow.Runtime.Driver.machine
+      && strip_timing fast.Runtime.Driver.stats
+         = strip_timing slow.Runtime.Driver.stats)
+    [
+      Smarq.Scheme.Smarq 64;
+      Smarq.Scheme.Smarq 16;
+      Smarq.Scheme.Naive_order 64;
+      Smarq.Scheme.Alat;
+      Smarq.Scheme.Efficeon;
+      Smarq.Scheme.None_;
+      Smarq.Scheme.None_static;
+    ]
+
+(* Deterministic spot check of the reduction itself: a WAW edge made
+   redundant by a RAW/WAR path must be pruned yet stay enforced. *)
+let test_reduction_prunes_redundant_waw () =
+  reset_ids ();
+  let w1 = mk (I.Binop (I.Add, r 1, I.Imm 1, I.Imm 2)) in
+  let rd = mk (I.Binop (I.Add, r 2, I.Reg (r 1), I.Imm 0)) in
+  let w2 = mk (I.Binop (I.Add, r 1, I.Imm 5, I.Imm 5)) in
+  let body = [ w1; rd; w2 ] in
+  let sb = sb_of body in
+  let alias = Analysis.May_alias.analyze ~body () in
+  let deps = Analysis.Depgraph.build ~body ~alias () in
+  let policy = Sched.Policy.smarq ~ar_count:64 in
+  let fast = Sched.Hazards.build ~sb ~deps ~policy () in
+  let slow = Sched.Hazards.build ~sb ~deps ~policy ~reference:true () in
+  Alcotest.(check bool) "reference keeps the direct WAW" true
+    (List.mem w1.I.id (Sched.Hazards.preds slow w2.I.id));
+  Alcotest.(check bool) "fast prunes the redundant WAW" false
+    (List.mem w1.I.id (Sched.Hazards.preds fast w2.I.id));
+  let reaches = closure fast body in
+  Alcotest.(check bool) "but w1 still precedes w2 transitively" true
+    (reaches w1.I.id w2.I.id)
+
+let suite =
+  ( "translate pipeline",
+    [
+      qcase ~count:300 "swept depgraph = pairwise depgraph" sb_arb
+        prop_depgraph_equal;
+      qcase ~count:150 "edges_into agrees per target" sb_arb
+        prop_edges_into_equal;
+      qcase ~count:100 "reduced hazards: same transitive closure" sb_arb
+        prop_hazard_closure_equal;
+      qcase ~count:100 "reduced hazards: edges within seed closure" sb_arb
+        prop_reduced_edges_subset;
+      qcase ~count:100 "dropped pairs normalized and equal" sb_arb
+        prop_dropped_normalized;
+      qcase ~count:8 "fast and reference pipelines bit-identical" prog_arb
+        prop_pipelines_bit_identical;
+      case "transitive reduction prunes redundant WAW"
+        test_reduction_prunes_redundant_waw;
+    ] )

@@ -21,6 +21,7 @@ let () =
       Suite_stats.suite;
       Suite_tcache.suite;
       Suite_props.suite;
+      Suite_translate.suite;
       Suite_runtime.suite;
       Suite_verify.suite;
       Suite_exec.suite;
