@@ -25,6 +25,19 @@ let fig15_scale =
 let fig18_scale = 10 * fig15_scale
 let fig18_benchmarks = [ "wupwise"; "mesa"; "ammp" ]
 
+(* BENCH_VERIFY=off|sample|all runs the static region verifier inside
+   every matrix job — the CI verify-smoke configuration.  Rejections
+   show up in the per-experiment JSON counters. *)
+let bench_verify =
+  match Sys.getenv_opt "BENCH_VERIFY" with
+  | Some s ->
+    (match Check.Verifier.mode_of_string (String.trim s) with
+    | Ok m -> m
+    | Error msg ->
+      Printf.eprintf "BENCH_VERIFY: %s\n" msg;
+      exit 1)
+  | None -> Check.Verifier.Off
+
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -42,13 +55,22 @@ let injected_this_experiment = ref 0
 let spurious_this_experiment = ref 0
 let degraded_this_experiment = ref 0
 
+(* translation-validation counters, nonzero only under BENCH_VERIFY
+   (or experiments that verify on their own, like the fault campaign) *)
+let verified_this_experiment = ref 0
+let rejected_this_experiment = ref 0
+
 let note_fault_stats (st : Runtime.Stats.t) =
   injected_this_experiment :=
     !injected_this_experiment + st.Runtime.Stats.injected_faults;
   spurious_this_experiment :=
     !spurious_this_experiment + st.Runtime.Stats.spurious_rollbacks;
   degraded_this_experiment :=
-    !degraded_this_experiment + st.Runtime.Stats.degraded_regions
+    !degraded_this_experiment + st.Runtime.Stats.degraded_regions;
+  verified_this_experiment :=
+    !verified_this_experiment + st.Runtime.Stats.verified_regions;
+  rejected_this_experiment :=
+    !rejected_this_experiment + st.Runtime.Stats.rejected_regions
 
 let run_matrix ~domains jobs =
   jobs_this_experiment := !jobs_this_experiment + List.length jobs;
@@ -79,7 +101,8 @@ let suite_matrix ~domains ?config ?(scale = fig15_scale) schemes =
     List.concat_map
       (fun (b : Workload.Specfp.bench) ->
         List.map
-          (fun scheme -> Exec.Matrix.of_bench ?config ~scale ~scheme b)
+          (fun scheme ->
+            Exec.Matrix.of_bench ?config ~verify:bench_verify ~scale ~scheme b)
           schemes)
       Workload.Specfp.suite
   in
@@ -239,7 +262,7 @@ let fig18 ~domains =
     run_matrix ~domains
       (List.map
          (fun name ->
-           Exec.Matrix.of_bench ~scale:fig18_scale
+           Exec.Matrix.of_bench ~verify:bench_verify ~scale:fig18_scale
              ~scheme:(Smarq.Scheme.Smarq 64) (Workload.Specfp.find name))
          fig18_benchmarks)
   in
@@ -469,7 +492,7 @@ let static_exp ~domains =
     run_matrix ~domains
       (List.map
          (fun s ->
-           Exec.Matrix.job ~scheme:s
+           Exec.Matrix.job ~verify:bench_verify ~scheme:s
              ~label:(Printf.sprintf "static/%s" (Smarq.Scheme.name s))
              (make ~iters:8000))
          schemes)
@@ -508,7 +531,7 @@ let unroll_exp ~domains =
       (fun (name, unroll) ->
         List.map
           (fun scheme ->
-            Exec.Matrix.of_bench ~unroll ~scale:30 ~scheme
+            Exec.Matrix.of_bench ~verify:bench_verify ~unroll ~scale:30 ~scheme
               (Workload.Specfp.find name))
           [ Smarq.Scheme.Smarq 64; Smarq.Scheme.Smarq 16 ])
       cells
@@ -591,7 +614,7 @@ let tcache_exp ~domains =
   let program = tcache_pressure_program ~loops ~inner ~outer in
   let policy_job ~policy ?capacity () =
     Exec.Matrix.job ~tcache_policy:policy ?tcache_capacity:capacity
-      ~scheme:(Smarq.Scheme.Smarq 64)
+      ~verify:bench_verify ~scheme:(Smarq.Scheme.Smarq 64)
       ~label:(Printf.sprintf "tcache/%s" (Smarq.Tcache.Policy.to_string policy))
       program
   in
@@ -668,11 +691,15 @@ let translate_exp ~domains:_ =
       List.iter
         (fun (b : Workload.Specfp.bench) ->
           let program = Workload.Specfp.program ~scale:1 b in
-          let r = Smarq.run_program ~unroll ~pipeline ~scheme program in
+          let r =
+            Smarq.run_program ~unroll ~pipeline ~verify:bench_verify ~scheme
+              program
+          in
           incr jobs_this_experiment;
           sim_seconds_this_experiment :=
             !sim_seconds_this_experiment
             +. r.Runtime.Driver.stats.Runtime.Stats.wall_seconds;
+          note_fault_stats r.Runtime.Driver.stats;
           Runtime.Profile.accumulate ~into:acc
             r.Runtime.Driver.stats.Runtime.Stats.translate)
         Workload.Specfp.suite
@@ -814,6 +841,8 @@ let () =
         injected_this_experiment := 0;
         spurious_this_experiment := 0;
         degraded_this_experiment := 0;
+        verified_this_experiment := 0;
+        rejected_this_experiment := 0;
         let t0 = Unix.gettimeofday () in
         fn ~domains;
         let wall = Unix.gettimeofday () -. t0 in
@@ -821,10 +850,12 @@ let () =
           Printf.sprintf
             "{\"experiment\":\"%s\",\"wall_s\":%.3f,\"sim_s\":%.3f,\
              \"jobs\":%d,\"domains\":%d,\"injected_faults\":%d,\
-             \"spurious_rollbacks\":%d,\"degraded_regions\":%d}"
+             \"spurious_rollbacks\":%d,\"degraded_regions\":%d,\
+             \"verified_regions\":%d,\"rejected_regions\":%d}"
             name wall !sim_seconds_this_experiment !jobs_this_experiment
             domains !injected_this_experiment !spurious_this_experiment
-            !degraded_this_experiment
+            !degraded_this_experiment !verified_this_experiment
+            !rejected_this_experiment
         in
         print_endline line;
         timings := line :: !timings

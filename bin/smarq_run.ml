@@ -108,6 +108,40 @@ let oracle_arg =
   in
   Arg.(value & flag & info [ "oracle" ] ~doc)
 
+let verify_mode_conv =
+  let parse s =
+    match Check.Verifier.mode_of_string s with
+    | Ok m -> Ok m
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf m -> Format.pp_print_string ppf (Check.Verifier.mode_name m) )
+
+let verify_regions_arg =
+  let doc =
+    "Static translation validation: $(b,off), $(b,sample) (a deterministic \
+     subset of built regions), or $(b,all).  A region that fails \
+     validation is never executed — its label degrades to \
+     interpreter-only execution and the violated rules are counted in \
+     the reject histogram; any rejection makes the command exit \
+     non-zero."
+  in
+  Arg.(
+    value
+    & opt verify_mode_conv Check.Verifier.Off
+    & info [ "verify-regions" ] ~docv:"MODE" ~doc)
+
+let policy_of_scheme = function
+  | Smarq.Scheme.Smarq n -> Sched.Policy.smarq ~ar_count:n
+  | Smarq.Scheme.Smarq_no_store_reorder n ->
+    Sched.Policy.smarq_no_store_reorder ~ar_count:n
+  | Smarq.Scheme.Naive_order n -> Sched.Policy.naive_order ~ar_count:n
+  | Smarq.Scheme.Alat -> Sched.Policy.alat ()
+  | Smarq.Scheme.Efficeon -> Sched.Policy.efficeon ()
+  | Smarq.Scheme.None_ -> Sched.Policy.none ()
+  | Smarq.Scheme.None_static -> Sched.Policy.none_with_analysis ()
+
 let find_bench name =
   match Workload.Specfp.find name with
   | b -> b
@@ -133,7 +167,7 @@ let list_cmd =
 
 let run_cmd =
   let run bench scheme scale tcache_policy tcache_capacity fault_seed
-      fault_rate oracle =
+      fault_rate oracle verify =
     let b = find_bench bench in
     let program = Workload.Specfp.program ~scale b in
     let fault =
@@ -144,7 +178,7 @@ let run_cmd =
     let r =
       fst
         (Verify.Oracle.run_scheme ~fuel:2_000_000_000 ~tcache_policy
-           ?tcache_capacity ?fault ~scheme program)
+           ?tcache_capacity ?fault ~verify ~scheme program)
     in
     Printf.printf "%s under %s (scale %d, tcache %s%s%s):\n" bench
       (Smarq.Scheme.name scheme) scale
@@ -166,6 +200,16 @@ let run_cmd =
     | Runtime.Driver.Fuel_exhausted ->
       print_endline "  (fuel exhausted before the program halted)");
     Format.print_flush ();
+    let stats = r.Runtime.Driver.stats in
+    if stats.Runtime.Stats.rejected_regions > 0 then begin
+      Printf.eprintf "verifier REJECTED %d of %d regions:\n"
+        stats.Runtime.Stats.rejected_regions
+        stats.Runtime.Stats.verified_regions;
+      List.iter
+        (fun (rule, n) -> Printf.eprintf "  %-24s %d\n" rule n)
+        (Runtime.Stats.reject_histogram stats);
+      exit 1
+    end;
     if oracle then begin
       match r.Runtime.Driver.outcome with
       | Runtime.Driver.Fuel_exhausted ->
@@ -188,7 +232,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one benchmark under one scheme")
     Term.(
       const run $ bench_arg $ scheme_arg $ scale_arg $ tcache_policy_arg
-      $ tcache_capacity_arg $ fault_seed_arg $ fault_rate_arg $ oracle_arg)
+      $ tcache_capacity_arg $ fault_seed_arg $ fault_rate_arg $ oracle_arg
+      $ verify_regions_arg)
 
 let jobs_arg =
   let doc =
@@ -318,47 +363,198 @@ let fuzz_cmd =
       const run $ seeds_arg $ first_seed_arg $ rate_arg $ bench_opt_arg
       $ scale_arg $ report_arg)
 
+(* Interpret until a block turns hot, then form its superblock — the
+   artifact source for `region' and the mutation harness. *)
+let hot_superblock program =
+  let profiler = Frontend.Profiler.create ~hot_threshold:50 () in
+  let machine = Vliw.Machine.create () in
+  let rec warm label steps =
+    if steps > 5000 then ()
+    else begin
+      Frontend.Profiler.note_execution profiler label;
+      match
+        Frontend.Interp.exec_block machine (Ir.Program.block program label)
+      with
+      | Some next -> warm next (steps + 1)
+      | None -> ()
+    end
+  in
+  warm program.Ir.Program.entry 0;
+  match
+    List.find_opt
+      (fun l -> Frontend.Profiler.is_hot profiler l)
+      (Ir.Program.labels program)
+  with
+  | None -> None
+  | Some seed ->
+    let liveness = Frontend.Liveness.analyze program in
+    let fresh_id = ref (Ir.Program.max_instr_id program + 1) in
+    Some
+      (Frontend.Region_form.form ~program ~liveness ~profiler ~fresh_id seed,
+       fresh_id)
+
+let verify_cmd =
+  let report_arg =
+    let doc = "Write the JSON verification report to this file." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"PATH" ~doc)
+  in
+  let schemes =
+    [
+      Smarq.Scheme.Smarq 64;
+      Smarq.Scheme.Smarq 16;
+      Smarq.Scheme.Smarq_no_store_reorder 64;
+      Smarq.Scheme.Naive_order 64;
+      Smarq.Scheme.Alat;
+      Smarq.Scheme.Efficeon;
+      Smarq.Scheme.None_;
+    ]
+  in
+  let run scale domains report =
+    (* phase 1: the full bench x scheme matrix under --verify-regions=all *)
+    let jobs =
+      List.concat_map
+        (fun (b : Workload.Specfp.bench) ->
+          List.map
+            (fun s ->
+              Exec.Matrix.of_bench ~fuel:2_000_000_000
+                ~verify:Check.Verifier.All ~scale ~scheme:s b)
+            schemes)
+        Workload.Specfp.suite
+    in
+    let outcomes = Exec.Matrix.run_matrix ~domains jobs in
+    let verified = ref 0 and rejected = ref 0 in
+    let histogram : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let run_records =
+      List.map
+        (fun (o : Exec.Matrix.outcome) ->
+          let st = o.Exec.Matrix.result.Runtime.Driver.stats in
+          verified := !verified + st.Runtime.Stats.verified_regions;
+          rejected := !rejected + st.Runtime.Stats.rejected_regions;
+          List.iter
+            (fun (rule, n) ->
+              Hashtbl.replace histogram rule
+                (n + Option.value (Hashtbl.find_opt histogram rule) ~default:0))
+            (Runtime.Stats.reject_histogram st);
+          Printf.sprintf
+            "{\"label\":\"%s\",\"verified_regions\":%d,\
+             \"rejected_regions\":%d}"
+            o.Exec.Matrix.job.Exec.Matrix.label
+            st.Runtime.Stats.verified_regions
+            st.Runtime.Stats.rejected_regions)
+        outcomes
+    in
+    Printf.printf "bench matrix: %d runs, %d regions verified, %d rejected\n"
+      (List.length outcomes) !verified !rejected;
+    Hashtbl.iter
+      (fun rule n -> Printf.printf "  %-24s %d\n" rule n)
+      histogram;
+    (* phase 2: mutation testing over one hot-region artifact per
+       (benchmark, scheme) cell *)
+    let latency = Vliw.Config.latency Vliw.Config.default in
+    let total_mutants = ref 0 and killed_mutants = ref 0 in
+    let baseline_failures = ref [] in
+    let survivors = ref [] in
+    let mutation_records =
+      List.concat_map
+        (fun (b : Workload.Specfp.bench) ->
+          let program = Workload.Specfp.program ~scale b in
+          match hot_superblock program with
+          | None -> []
+          | Some (sb, fresh_id) ->
+            List.map
+              (fun scheme ->
+                let label =
+                  Printf.sprintf "%s/%s" b.Workload.Specfp.name
+                    (Smarq.Scheme.name scheme)
+                in
+                let o =
+                  Opt.Optimizer.optimize ~policy:(policy_of_scheme scheme)
+                    ~issue_width:4 ~mem_ports:2 ~latency ~fresh_id sb
+                in
+                let s =
+                  Check.Mutate.run ~issue_width:4 ~mem_ports:2 ~latency o
+                in
+                total_mutants := !total_mutants + s.Check.Mutate.total;
+                killed_mutants := !killed_mutants + s.Check.Mutate.killed;
+                if not s.Check.Mutate.baseline_pass then
+                  baseline_failures := label :: !baseline_failures;
+                List.iter
+                  (fun (oc : Check.Mutate.outcome) ->
+                    if not oc.Check.Mutate.killed then
+                      survivors :=
+                        Printf.sprintf "%s/%s" label
+                          (Check.Mutate.mutation_name oc.Check.Mutate.mutation)
+                        :: !survivors)
+                  s.Check.Mutate.outcomes;
+                Printf.sprintf
+                  "{\"label\":\"%s\",\"baseline_pass\":%b,\"mutants\":%d,\
+                   \"killed\":%d}"
+                  label s.Check.Mutate.baseline_pass s.Check.Mutate.total
+                  s.Check.Mutate.killed)
+              schemes)
+        Workload.Specfp.suite
+    in
+    Printf.printf "mutation harness: %d mutants, %d killed\n" !total_mutants
+      !killed_mutants;
+    List.iter
+      (fun l -> Printf.printf "  SURVIVED %s\n" l)
+      (List.rev !survivors);
+    List.iter
+      (fun l -> Printf.printf "  BASELINE REJECTED %s\n" l)
+      (List.rev !baseline_failures);
+    (match report with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      let hist_json =
+        Hashtbl.fold
+          (fun rule n acc ->
+            Printf.sprintf "{\"rule\":\"%s\",\"count\":%d}" rule n :: acc)
+          histogram []
+        |> List.sort compare
+      in
+      Printf.fprintf oc
+        "{\"verified_regions\":%d,\"rejected_regions\":%d,\
+         \"reject_histogram\":[%s],\"runs\":[%s],\"mutants\":%d,\
+         \"mutants_killed\":%d,\"mutation_runs\":[%s]}\n"
+        !verified !rejected
+        (String.concat "," hist_json)
+        (String.concat "," run_records)
+        !total_mutants !killed_mutants
+        (String.concat "," mutation_records);
+      close_out oc;
+      Printf.printf "report written to %s\n" path);
+    if
+      !rejected > 0
+      || !killed_mutants < !total_mutants
+      || !baseline_failures <> []
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Translation validation: run the benchmark suite under every \
+          scheme with --verify-regions=all, then mutation-test the \
+          verifier on hot-region artifacts; exit non-zero on any \
+          rejected region or surviving mutant")
+    Term.(const run $ scale_arg $ jobs_arg $ report_arg)
+
 let region_cmd =
   let run bench scheme =
     let b = find_bench bench in
     let program = Workload.Specfp.program b in
-    (* profile until the first body block is hot, then form + optimize *)
-    let profiler = Frontend.Profiler.create ~hot_threshold:50 () in
-    let machine = Vliw.Machine.create () in
-    let rec warm label steps =
-      if steps > 5000 then ()
-      else begin
-        Frontend.Profiler.note_execution profiler label;
-        match
-          Frontend.Interp.exec_block machine (Ir.Program.block program label)
-        with
-        | Some next -> warm next (steps + 1)
-        | None -> ()
-      end
-    in
-    warm program.Ir.Program.entry 0;
-    let seed =
-      List.find
-        (fun l -> Frontend.Profiler.is_hot profiler l)
-        (Ir.Program.labels program)
-    in
-    let liveness = Frontend.Liveness.analyze program in
-    let fresh_id = ref (Ir.Program.max_instr_id program + 1) in
-    let sb =
-      Frontend.Region_form.form ~program ~liveness ~profiler ~fresh_id seed
+    let sb, fresh_id =
+      match hot_superblock program with
+      | Some x -> x
+      | None ->
+        Printf.eprintf "no hot block found in %s\n" bench;
+        exit 1
     in
     Format.printf "--- superblock ---@.%a@." Ir.Superblock.pp sb;
-    let policy =
-      match scheme with
-      | Smarq.Scheme.Smarq n -> Sched.Policy.smarq ~ar_count:n
-      | Smarq.Scheme.Smarq_no_store_reorder n ->
-        Sched.Policy.smarq_no_store_reorder ~ar_count:n
-      | Smarq.Scheme.Naive_order n -> Sched.Policy.naive_order ~ar_count:n
-      | Smarq.Scheme.Alat -> Sched.Policy.alat ()
-      | Smarq.Scheme.Efficeon -> Sched.Policy.efficeon ()
-      | Smarq.Scheme.None_ -> Sched.Policy.none ()
-      | Smarq.Scheme.None_static -> Sched.Policy.none_with_analysis ()
-    in
+    let policy = policy_of_scheme scheme in
     let o =
       Opt.Optimizer.optimize ~policy ~issue_width:4 ~mem_ports:2
         ~latency:(Vliw.Config.latency Vliw.Config.default)
@@ -387,4 +583,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; compare_cmd; region_cmd; fuzz_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; compare_cmd; region_cmd; fuzz_cmd; verify_cmd ]))

@@ -100,6 +100,31 @@ let topological_order edges ~ids =
   done;
   if !count = List.length ids then Some (List.rev !result) else None
 
+let cycle_edges edges ~ids =
+  (* Kahn in reverse: iteratively strip nodes of in-degree zero; the
+     edges among whatever survives all lie on (or between) cycles. *)
+  let out, indeg = adjacency edges in
+  let degree id = Option.value (Hashtbl.find_opt indeg id) ~default:0 in
+  let alive = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace alive id ()) ids;
+  let ready = Queue.create () in
+  List.iter (fun id -> if degree id = 0 then Queue.add id ready) ids;
+  while not (Queue.is_empty ready) do
+    let id = Queue.pop ready in
+    Hashtbl.remove alive id;
+    List.iter
+      (fun succ ->
+        if Hashtbl.mem alive succ then begin
+          let d = degree succ - 1 in
+          Hashtbl.replace indeg succ d;
+          if d = 0 then Queue.add succ ready
+        end)
+      (Option.value (Hashtbl.find_opt out id) ~default:[])
+  done;
+  List.filter
+    (fun e -> Hashtbl.mem alive e.first && Hashtbl.mem alive e.second)
+    edges
+
 let has_cycle edges =
   let ids =
     List.concat_map (fun e -> [ e.first; e.second ]) edges

@@ -39,6 +39,11 @@ val validate :
 val has_cycle : edge list -> bool
 (** True iff the constraint graph contains a directed cycle. *)
 
+val cycle_edges : edge list -> ids:int list -> edge list
+(** The edges remaining after iteratively stripping in-degree-zero
+    nodes — a witness of the cyclic core ([[]] iff acyclic over
+    [ids]).  Used for structured allocation-failure reports. *)
+
 val topological_order : edge list -> ids:int list -> int list option
 (** A topological order of [ids] under the edges ([None] on cycle);
     ties broken by ascending id for determinism. *)

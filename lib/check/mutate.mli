@@ -1,0 +1,57 @@
+(** Mutation testing for the static verifier.
+
+    Each mutation corrupts a verified artifact in a way that breaks
+    exactly one invariant family — dropping a runtime check, swapping
+    allocated orders across a constraint, widening an offset past the
+    register window, deleting an AMOV or an instruction, un-marking an
+    advanced load, clearing a mask check bit, hoisting an instruction
+    across a hazard edge, over-rotating the queue — and the harness
+    asserts that {!Verifier.verify} rejects the mutant with (at least)
+    the expected rule.  A surviving mutant is a verifier blind spot. *)
+
+type mutation =
+  | Drop_check  (** strip a checker's C bit and check edges *)
+  | Swap_orders  (** swap allocated orders across a check edge *)
+  | Widen_offset  (** set an annotation offset to [ar_count] *)
+  | Delete_amov  (** remove an AMOV instruction, keep its record *)
+  | Drop_advanced  (** un-mark a protected advanced load *)
+  | Clear_mask_bit  (** clear the covering bit of a mask checker *)
+  | Hoist_across_hazard  (** move a successor into its predecessor's cycle *)
+  | Delete_instr  (** drop a body instruction from the region *)
+  | Over_rotate  (** increment a ROTATE amount *)
+
+val mutation_name : mutation -> string
+
+val expected_rules : mutation -> Verifier.rule list
+(** Rules at least one of which must appear in the mutant's reject
+    verdict for the mutant to count as killed. *)
+
+val mutants : Opt.Optimizer.t -> (mutation * Opt.Optimizer.t) list
+(** Every mutation applicable to this artifact, each applied to an
+    independent deep copy.  Scheme-specific mutations are generated
+    only for artifacts of that scheme; mutations with no viable target
+    (e.g. [Delete_amov] on an AMOV-free region) are skipped. *)
+
+type outcome = {
+  mutation : mutation;
+  killed : bool;
+  rules_hit : Verifier.rule list;  (** rules in the mutant's verdict *)
+}
+
+type summary = {
+  baseline_pass : bool;  (** the unmutated artifact verifies clean *)
+  total : int;
+  killed : int;
+  outcomes : outcome list;
+}
+
+val run :
+  issue_width:int ->
+  mem_ports:int ->
+  latency:(Ir.Instr.t -> int) ->
+  Opt.Optimizer.t ->
+  summary
+(** Verifies the baseline, generates all applicable mutants, and
+    verifies each. *)
+
+val pp_summary : Format.formatter -> summary -> unit

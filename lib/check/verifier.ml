@@ -1,0 +1,694 @@
+module C = Analysis.Constraints
+
+type rule =
+  | Def_before_use
+  | Branch_order
+  | Exit_crossed
+  | Sched_hazard
+  | Sched_width
+  | Sched_complete
+  | Dropped_illegal
+  | Hard_reordered
+  | Nospec_reordered
+  | Annot_scheme
+  | Annot_alloc_sync
+  | Alloc_constraint
+  | Alloc_window
+  | Alloc_cycle
+  | Queue_uncovered
+  | Queue_base_sync
+  | Queue_rotate
+  | Amov_bounds
+  | Alat_unmarked
+  | Alat_capacity
+  | Mask_uncovered
+  | Mask_clobbered
+  | Mask_bounds
+
+let rule_name = function
+  | Def_before_use -> "def_before_use"
+  | Branch_order -> "branch_order"
+  | Exit_crossed -> "exit_crossed"
+  | Sched_hazard -> "sched_hazard"
+  | Sched_width -> "sched_width"
+  | Sched_complete -> "sched_complete"
+  | Dropped_illegal -> "dropped_illegal"
+  | Hard_reordered -> "hard_reordered"
+  | Nospec_reordered -> "nospec_reordered"
+  | Annot_scheme -> "annot_scheme"
+  | Annot_alloc_sync -> "annot_alloc_sync"
+  | Alloc_constraint -> "alloc_constraint"
+  | Alloc_window -> "alloc_window"
+  | Alloc_cycle -> "alloc_cycle"
+  | Queue_uncovered -> "queue_uncovered"
+  | Queue_base_sync -> "queue_base_sync"
+  | Queue_rotate -> "queue_rotate"
+  | Amov_bounds -> "amov_bounds"
+  | Alat_unmarked -> "alat_unmarked"
+  | Alat_capacity -> "alat_capacity"
+  | Mask_uncovered -> "mask_uncovered"
+  | Mask_clobbered -> "mask_clobbered"
+  | Mask_bounds -> "mask_bounds"
+
+type violation = {
+  rule : rule;
+  detail : string;
+}
+
+type verdict =
+  | Pass
+  | Reject of violation list
+
+type mode =
+  | Off
+  | Sample
+  | All
+
+let mode_of_string = function
+  | "off" -> Ok Off
+  | "sample" -> Ok Sample
+  | "all" -> Ok All
+  | s -> Error (Printf.sprintf "unknown verify mode %S (off|sample|all)" s)
+
+let mode_name = function Off -> "off" | Sample -> "sample" | All -> "all"
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %s" (rule_name v.rule) v.detail
+
+let pp_verdict ppf = function
+  | Pass -> Format.fprintf ppf "pass"
+  | Reject vs ->
+    Format.fprintf ppf "reject (%d):" (List.length vs);
+    List.iter (fun v -> Format.fprintf ppf "@ %a" pp_violation v) vs
+
+(* The view of the region every rule works from: execution position
+   (flat, bundle by bundle) and issue cycle per instruction id. *)
+type view = {
+  flat : Ir.Instr.t array;  (** all region instructions, execution order *)
+  pos : (int, int) Hashtbl.t;  (** id -> index in [flat] *)
+  cyc : (int, int) Hashtbl.t;  (** id -> bundle (cycle) index *)
+}
+
+let make_view (region : Ir.Region.t) ~dup =
+  let flat = Array.of_list (Ir.Region.instrs region) in
+  let pos = Hashtbl.create (2 * (Array.length flat + 1)) in
+  let cyc = Hashtbl.create (2 * (Array.length flat + 1)) in
+  Array.iteri
+    (fun idx (i : Ir.Instr.t) ->
+      if Hashtbl.mem pos i.id then dup i.id
+      else Hashtbl.replace pos i.id idx)
+    flat;
+  Array.iteri
+    (fun cycle bundle ->
+      List.iter
+        (fun (i : Ir.Instr.t) ->
+          if not (Hashtbl.mem cyc i.id) then Hashtbl.replace cyc i.id cycle)
+        bundle)
+    region.Ir.Region.bundles;
+  { flat; pos; cyc }
+
+let is_splice (i : Ir.Instr.t) =
+  match i.op with Ir.Instr.Rotate _ | Ir.Instr.Amov _ -> true | _ -> false
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let verify ~issue_width ~mem_ports ~latency (o : Opt.Optimizer.t) =
+  let region = o.Opt.Optimizer.region in
+  let sb = region.Ir.Region.source in
+  let body = sb.Ir.Superblock.body in
+  let policy = o.Opt.Optimizer.policy_used in
+  let ar_count = policy.Sched.Policy.ar_count in
+  let hazards = o.Opt.Optimizer.hazards in
+  let violations = ref [] in
+  let flag rule fmt =
+    Printf.ksprintf
+      (fun detail -> violations := { rule; detail } :: !violations)
+      fmt
+  in
+  let view =
+    make_view region ~dup:(fun id ->
+        flag Sched_complete "instruction %d appears more than once" id)
+  in
+  let pos id = Hashtbl.find_opt view.pos id in
+  let cyc id = Hashtbl.find_opt view.cyc id in
+  let by_id = Hashtbl.create (2 * (List.length body + 1)) in
+  List.iter (fun (i : Ir.Instr.t) -> Hashtbl.replace by_id i.id i) body;
+
+  (* ---- completeness: the region is the superblock body plus splices *)
+  List.iter
+    (fun (i : Ir.Instr.t) ->
+      if not (Hashtbl.mem view.pos i.id) then
+        flag Sched_complete "body instruction %d missing from the region" i.id)
+    body;
+  Array.iter
+    (fun (i : Ir.Instr.t) ->
+      if (not (is_splice i)) && not (Hashtbl.mem by_id i.id) then
+        flag Sched_complete "region instruction %d is not in the body" i.id)
+    view.flat;
+  if region.Ir.Region.entry <> sb.Ir.Superblock.entry then
+    flag Sched_complete "region entry %s differs from superblock entry %s"
+      region.Ir.Region.entry sb.Ir.Superblock.entry;
+  if region.Ir.Region.final_exit <> sb.Ir.Superblock.final_exit then
+    flag Sched_complete "region and superblock final exits differ";
+  List.iter
+    (fun (c, (i : Ir.Instr.t)) ->
+      match cyc i.id with
+      | Some c' when c' = c -> ()
+      | Some c' ->
+        flag Sched_complete "instruction %d issued at cycle %d but bundled at %d"
+          i.id c c'
+      | None -> ())
+    o.Opt.Optimizer.issue_seq;
+
+  (* The cycle-precedence rule the scheduler enforces on every hazard
+     edge: successor issues no earlier than predecessor issue plus the
+     predecessor's full latency. *)
+  let require rule a b what =
+    match cyc a, cyc b with
+    | Some ca, Some cb ->
+      (match Hashtbl.find_opt by_id a with
+      | Some ia ->
+        let l = latency ia in
+        if cb < ca + l then
+          flag rule "%s %d -> %d: cycle %d < %d + latency %d" what a b cb ca l
+      | None -> ())
+    | _ -> ()
+  in
+
+  (* ---- register dependences, re-derived from the body *)
+  let last_def : (Ir.Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let uses_since : (Ir.Reg.t, int list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (i : Ir.Instr.t) ->
+      List.iter
+        (fun r ->
+          (match Hashtbl.find_opt last_def r with
+          | Some d -> require Def_before_use d i.id "raw"
+          | None -> ());
+          Hashtbl.replace uses_since r
+            (i.id :: Option.value (Hashtbl.find_opt uses_since r) ~default:[]))
+        (Ir.Instr.uses i);
+      List.iter
+        (fun r ->
+          (match Hashtbl.find_opt last_def r with
+          | Some d -> require Def_before_use d i.id "waw"
+          | None -> ());
+          List.iter
+            (fun u -> if u <> i.id then require Def_before_use u i.id "war")
+            (Option.value (Hashtbl.find_opt uses_since r) ~default:[]);
+          Hashtbl.replace last_def r i.id;
+          Hashtbl.replace uses_since r [])
+        (Ir.Instr.defs i))
+    body;
+
+  (* ---- side exits: ordered, and never crossed by blocked work *)
+  let exits = List.filter Ir.Instr.is_side_exit body in
+  let rec check_exit_order = function
+    | (a : Ir.Instr.t) :: (b : Ir.Instr.t) :: rest ->
+      (match cyc a.id, cyc b.id with
+      | Some ca, Some cb when cb <= ca ->
+        flag Branch_order "exits %d and %d issued at cycles %d >= %d" a.id b.id
+          ca cb
+      | _ -> ());
+      check_exit_order (b :: rest)
+    | _ -> ()
+  in
+  check_exit_order exits;
+  let blocked (i : Ir.Instr.t) live =
+    Ir.Instr.is_store i
+    || List.exists (fun r -> Ir.Reg.Set.mem r live) (Ir.Instr.defs i)
+  in
+  let before = ref [] in
+  let after = ref body in
+  List.iter
+    (fun (i : Ir.Instr.t) ->
+      after := List.tl !after;
+      if Ir.Instr.is_side_exit i then begin
+        let live = Ir.Superblock.exit_live_out sb i.id in
+        List.iter
+          (fun (j : Ir.Instr.t) ->
+            if (not (Ir.Instr.is_side_exit j)) && blocked j live then
+              require Exit_crossed j.id i.id "pre-exit")
+          !before;
+        List.iter
+          (fun (j : Ir.Instr.t) ->
+            if (not (Ir.Instr.is_side_exit j)) && blocked j live then
+              require Exit_crossed i.id j.id "post-exit")
+          !after
+      end;
+      before := i :: !before)
+    body;
+
+  (* ---- the recorded hazard graph itself *)
+  Array.iteri
+    (fun p preds ->
+      let id = hazards.Sched.Hazards.ids.(p) in
+      List.iter (fun pd -> require Sched_hazard pd id "hazard") preds)
+    hazards.Sched.Hazards.preds_of;
+
+  (* ---- resource limits per bundle *)
+  Array.iteri
+    (fun cycle bundle ->
+      let ops = List.filter (fun i -> not (is_splice i)) bundle in
+      let mem = List.filter Ir.Instr.is_memory ops in
+      let br = List.filter Ir.Instr.is_branch ops in
+      if List.length ops > issue_width then
+        flag Sched_width "cycle %d issues %d ops over width %d" cycle
+          (List.length ops) issue_width;
+      if List.length mem > mem_ports then
+        flag Sched_width "cycle %d issues %d memory ops over %d ports" cycle
+          (List.length mem) mem_ports;
+      if List.length br > 1 then
+        flag Sched_width "cycle %d issues %d branches" cycle (List.length br))
+    region.Ir.Region.bundles;
+
+  (* ---- dropped pairs must be droppable speculative dependences *)
+  let real_spec = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Analysis.Depgraph.edge) ->
+      if e.kind = Analysis.Depgraph.Real && e.strength = Analysis.Depgraph.Speculative
+      then Hashtbl.replace real_spec (e.first, e.second) ())
+    (Analysis.Depgraph.edges o.Opt.Optimizer.deps);
+  List.iter
+    (fun (f, s) ->
+      if not (Hashtbl.mem real_spec (f, s)) then
+        flag Dropped_illegal "dropped pair %d,%d is not a speculative dep" f s
+      else
+        match Hashtbl.find_opt by_id f, Hashtbl.find_opt by_id s with
+        | Some fi, Some si ->
+          if not (Sched.Policy.may_drop_edge policy ~first:fi ~second:si) then
+            flag Dropped_illegal "policy %s may not drop pair %d,%d"
+              policy.Sched.Policy.name f s
+        | _ -> flag Dropped_illegal "dropped pair %d,%d not in the body" f s)
+    hazards.Sched.Hazards.dropped;
+
+  (* ---- speculation coverage.  A dependence edge needs a runtime
+     check exactly when its [second] endpoint executes before its
+     [first] (for Real edges that is a reordering; for Extended edges
+     it is the natural order, hence they are almost always live). *)
+  let required =
+    List.filter_map
+      (fun (e : Analysis.Depgraph.edge) ->
+        match pos e.first, pos e.second with
+        | Some pf, Some ps when ps < pf -> Some (e, pf, ps)
+        | _ -> None)
+      (Analysis.Depgraph.edges o.Opt.Optimizer.deps)
+  in
+  List.iter
+    (fun ((e : Analysis.Depgraph.edge), _, _) ->
+      if e.kind = Analysis.Depgraph.Real && e.strength = Analysis.Depgraph.Hard
+      then
+        flag Hard_reordered "must-alias pair %d,%d executes in reverse" e.first
+          e.second)
+    required;
+  let required =
+    List.filter
+      (fun ((e : Analysis.Depgraph.edge), _, _) ->
+        not
+          (e.kind = Analysis.Depgraph.Real
+          && e.strength = Analysis.Depgraph.Hard))
+      required
+  in
+
+  let annot_of id =
+    match pos id with
+    | Some p -> Ir.Instr.annot view.flat.(p)
+    | None -> Ir.Annot.No_annot
+  in
+  let splices =
+    Array.to_list view.flat |> List.filter is_splice
+  in
+
+  (* ---- scheme-specific checks *)
+  (match policy.Sched.Policy.scheme with
+  | Sched.Policy.Queue_scheme -> (
+    match o.Opt.Optimizer.alloc_result with
+    | None ->
+      flag Annot_scheme "queue scheme artifact carries no allocation result"
+    | Some res ->
+      let a = res.Sched.Smarq_alloc.allocation in
+      let order id = Hashtbl.find_opt a.C.order id in
+      let amov_ids = Hashtbl.create 16 in
+      List.iter
+        (fun (m : Sched.Smarq_alloc.amov_insertion) ->
+          Hashtbl.replace amov_ids m.amov_id m)
+        res.Sched.Smarq_alloc.amovs;
+      (* constraint edges against the final orders and bases *)
+      (match
+         C.validate a
+           ~edges:
+             (res.Sched.Smarq_alloc.check_edges
+             @ res.Sched.Smarq_alloc.anti_edges)
+           ~ar_count
+       with
+      | Ok () -> ()
+      | Error msgs ->
+        List.iter
+          (fun m ->
+            let rule =
+              if contains_substring m "offset" || contains_substring m "base"
+              then Alloc_window
+              else Alloc_constraint
+            in
+            flag rule "%s" m)
+          msgs);
+      (* annotation/allocation synchronization over the region *)
+      Array.iter
+        (fun (i : Ir.Instr.t) ->
+          if Ir.Instr.is_memory i then begin
+            let pa = Hashtbl.mem a.C.p_bit i.id
+            and ca = Hashtbl.mem a.C.c_bit i.id in
+            match Ir.Instr.annot i with
+            | Ir.Annot.Queue { offset; p; c } ->
+              if p <> pa || c <> ca then
+                flag Annot_alloc_sync
+                  "op %d annotated p=%b c=%b but allocated p=%b c=%b" i.id p c
+                  pa ca;
+              (match order i.id, Hashtbl.find_opt a.C.base i.id with
+              | Some o, Some b ->
+                if offset <> o - b then
+                  flag Annot_alloc_sync
+                    "op %d annotated offset %d but allocated %d - %d" i.id
+                    offset o b
+              | _ ->
+                flag Annot_alloc_sync "annotated op %d has no allocation" i.id);
+              if offset < 0 || offset >= ar_count then
+                flag Alloc_window "op %d offset %d outside [0,%d)" i.id offset
+                  ar_count
+            | Ir.Annot.No_annot ->
+              if pa || ca then
+                flag Annot_alloc_sync
+                  "op %d allocated p=%b c=%b but carries no annotation" i.id pa
+                  ca
+            | Ir.Annot.Mask _ | Ir.Annot.Alat _ ->
+              flag Annot_scheme "op %d carries a non-queue annotation" i.id
+          end)
+        view.flat;
+      (* AMOV splices against the allocator's insertion records *)
+      List.iter
+        (fun (m : Sched.Smarq_alloc.amov_insertion) ->
+          if
+            m.src_offset < 0 || m.dst_offset < 0
+            || m.src_offset >= ar_count
+            || m.dst_offset >= ar_count
+          then
+            flag Amov_bounds "amov %d offsets %d,%d outside [0,%d)" m.amov_id
+              m.src_offset m.dst_offset ar_count;
+          if (not m.dst_is_fresh) && m.src_offset <> m.dst_offset then
+            flag Annot_alloc_sync "clearing amov %d moves %d -> %d" m.amov_id
+              m.src_offset m.dst_offset;
+          match pos m.amov_id, pos m.before with
+          | Some pa, Some pb ->
+            if pa >= pb then
+              flag Annot_alloc_sync "amov %d does not precede its anchor %d"
+                m.amov_id m.before;
+            (match cyc m.amov_id, cyc m.before with
+            | Some ca, Some cb when ca <> cb ->
+              flag Annot_alloc_sync "amov %d not bundled with its anchor %d"
+                m.amov_id m.before
+            | _ -> ());
+            (match view.flat.(pa).op with
+            | Ir.Instr.Amov { src_offset; dst_offset } ->
+              if src_offset <> m.src_offset || dst_offset <> m.dst_offset then
+                flag Annot_alloc_sync
+                  "amov %d materialized as %d->%d, recorded %d->%d" m.amov_id
+                  src_offset dst_offset m.src_offset m.dst_offset
+            | _ ->
+              flag Annot_alloc_sync "instruction %d is not an AMOV" m.amov_id)
+          | _ -> flag Annot_alloc_sync "amov %d missing from the region" m.amov_id)
+        res.Sched.Smarq_alloc.amovs;
+      Array.iter
+        (fun (i : Ir.Instr.t) ->
+          match i.op with
+          | Ir.Instr.Amov _ ->
+            if not (Hashtbl.mem amov_ids i.id) then
+              flag Annot_alloc_sync "AMOV %d has no insertion record" i.id
+          | _ -> ())
+        view.flat;
+      (* BASE replay: walking the region in execution order, the queue
+         base implied by ROTATE instructions must place every
+         annotation and AMOV at its allocated order *)
+      let qbase = ref 0 in
+      Array.iter
+        (fun (i : Ir.Instr.t) ->
+          match i.op with
+          | Ir.Instr.Rotate n ->
+            if n <= 0 then flag Queue_rotate "rotate %d by %d" i.id n;
+            qbase := !qbase + n
+          | Ir.Instr.Amov _ -> (
+            match Hashtbl.find_opt amov_ids i.id with
+            | None -> ()
+            | Some m ->
+              (match order m.src_instr with
+              | Some os when !qbase + m.src_offset <> os ->
+                flag Queue_base_sync
+                  "amov %d src at base %d + %d, but order(%d) = %d" i.id !qbase
+                  m.src_offset m.src_instr os
+              | _ -> ());
+              if m.dst_is_fresh then (
+                match order m.amov_id with
+                | Some od when !qbase + m.dst_offset <> od ->
+                  flag Queue_base_sync
+                    "amov %d dst at base %d + %d, but its order is %d" i.id
+                    !qbase m.dst_offset od
+                | Some _ -> ()
+                | None ->
+                  flag Queue_base_sync "fresh amov %d has no order" i.id))
+          | _ -> (
+            match Ir.Instr.annot i with
+            | Ir.Annot.Queue { offset; _ } -> (
+              match order i.id with
+              | Some od when !qbase + offset <> od ->
+                flag Queue_base_sync
+                  "op %d at base %d + offset %d, but order is %d" i.id !qbase
+                  offset od
+              | _ -> ())
+            | _ -> ()))
+        view.flat;
+      (* coverage under the ordered-detection rule, tracking each
+         protected range through the AMOVs that execute before the
+         checker *)
+      let moved_by = Hashtbl.create 16 in
+      List.iter
+        (fun (m : Sched.Smarq_alloc.amov_insertion) ->
+          Hashtbl.replace moved_by m.src_instr m)
+        res.Sched.Smarq_alloc.amovs;
+      let rec holder_at id limit =
+        match Hashtbl.find_opt moved_by id with
+        | Some (m : Sched.Smarq_alloc.amov_insertion) -> (
+          match pos m.amov_id with
+          | Some pa when pa < limit ->
+            if m.dst_is_fresh then holder_at m.amov_id limit else None
+          | _ -> Some id)
+        | None -> Some id
+      in
+      List.iter
+        (fun ((e : Analysis.Depgraph.edge), pf, _) ->
+          let f = e.first and s = e.second in
+          if not (Hashtbl.mem a.C.p_bit s) then
+            flag Queue_uncovered "reordered pair %d,%d: %d is not protected" f
+              s s
+          else if not (Hashtbl.mem a.C.c_bit f) then
+            flag Queue_uncovered "reordered pair %d,%d: %d does not check" f s
+              f
+          else
+            match holder_at s pf with
+            | None ->
+              flag Queue_uncovered
+                "reordered pair %d,%d: %d's range cleared before the check" f s
+                s
+            | Some h -> (
+              match order f, order h with
+              | Some of_, Some oh ->
+                if of_ > oh then
+                  flag Queue_uncovered
+                    "reordered pair %d,%d: order(%d)=%d > order(holder %d)=%d"
+                    f s f of_ h oh
+              | _ ->
+                flag Queue_uncovered "reordered pair %d,%d: missing orders" f s
+              ))
+        required;
+      (* on AMOV-free regions the standalone FAST ALGORITHM certifies
+         the constraint graph acyclic *)
+      if res.Sched.Smarq_alloc.amovs = [] then begin
+        let issue_order =
+          Array.to_list view.flat
+          |> List.filter Ir.Instr.is_memory
+          |> List.map (fun (i : Ir.Instr.t) -> i.id)
+        in
+        match
+          Sched.Fast_alloc.allocate ~issue_order
+            ~p_bit:(Hashtbl.mem a.C.p_bit)
+            ~c_bit:(Hashtbl.mem a.C.c_bit)
+            ~edges:
+              (res.Sched.Smarq_alloc.check_edges
+              @ res.Sched.Smarq_alloc.anti_edges)
+        with
+        | Ok _ -> ()
+        | Error { Sched.Fast_alloc.cycle } ->
+          flag Alloc_cycle "constraint cycle without an AMOV: %s"
+            (String.concat ", "
+               (List.map (Format.asprintf "%a" C.pp_edge) cycle))
+      end)
+  | Sched.Policy.Naive_queue_scheme ->
+    (* one register per memory op, program order, always set + check *)
+    let ordinal = Hashtbl.create 64 in
+    let n = ref 0 in
+    List.iter
+      (fun (i : Ir.Instr.t) ->
+        if Ir.Instr.is_memory i then begin
+          Hashtbl.replace ordinal i.id !n;
+          incr n
+        end)
+      body;
+    let qbase = ref 0 in
+    Array.iter
+      (fun (i : Ir.Instr.t) ->
+        match i.op with
+        | Ir.Instr.Rotate k ->
+          if k <= 0 then flag Queue_rotate "rotate %d by %d" i.id k;
+          qbase := !qbase + k
+        | Ir.Instr.Amov _ ->
+          flag Annot_scheme "AMOV %d under the naive order scheme" i.id
+        | _ ->
+          if Ir.Instr.is_memory i then (
+            match Ir.Instr.annot i with
+            | Ir.Annot.Queue { offset; p = true; c = true } -> (
+              if offset < 0 || offset >= ar_count then
+                flag Alloc_window "op %d offset %d outside [0,%d)" i.id offset
+                  ar_count;
+              match Hashtbl.find_opt ordinal i.id with
+              | Some o when !qbase + offset <> o ->
+                flag Queue_base_sync
+                  "op %d at base %d + offset %d, but program order %d" i.id
+                  !qbase offset o
+              | _ -> ())
+            | _ ->
+              flag Annot_scheme
+                "op %d must set and check under the naive scheme" i.id))
+      view.flat
+  | Sched.Policy.Alat_scheme ->
+    List.iter
+      (fun (i : Ir.Instr.t) ->
+        flag Annot_scheme "queue instruction %d under the ALAT scheme" i.id)
+      splices;
+    Array.iter
+      (fun (i : Ir.Instr.t) ->
+        match Ir.Instr.annot i with
+        | Ir.Annot.No_annot -> ()
+        | Ir.Annot.Alat { advanced } ->
+          if Ir.Instr.is_store i && advanced then
+            flag Annot_scheme "store %d marked as an advanced load" i.id;
+          if Ir.Instr.is_load i && not advanced then
+            flag Annot_scheme "load %d carries a non-advanced ALAT mark" i.id
+        | Ir.Annot.Queue _ | Ir.Annot.Mask _ ->
+          flag Annot_scheme "op %d carries a non-ALAT annotation" i.id)
+      view.flat;
+    if not (Array.for_all (fun (i : Ir.Instr.t) ->
+                (not (Ir.Instr.is_store i))
+                || Ir.Instr.annot i = Ir.Annot.alat ~advanced:false)
+              view.flat)
+    then flag Annot_scheme "a store is missing its ALAT check annotation";
+    let advanced id =
+      match annot_of id with
+      | Ir.Annot.Alat { advanced } -> advanced
+      | _ -> false
+    in
+    List.iter
+      (fun ((e : Analysis.Depgraph.edge), pf, ps) ->
+        let f = e.first and s = e.second in
+        let fi = Hashtbl.find_opt by_id f and si = Hashtbl.find_opt by_id s in
+        (match fi, si with
+        | Some fi, Some si
+          when Ir.Instr.is_store fi && Ir.Instr.is_load si ->
+          if not (advanced s) then
+            flag Alat_unmarked
+              "reordered pair %d,%d: load %d is not marked advanced" f s s
+        | _ ->
+          flag Annot_scheme
+            "reordered pair %d,%d cannot be protected by the ALAT" f s);
+        (* FIFO eviction: the entry survives only while fewer than
+           [ar_count] advanced loads execute inside the window *)
+        let inserted = ref 0 in
+        for p = ps + 1 to pf - 1 do
+          let j = view.flat.(p) in
+          if Ir.Instr.is_load j && advanced j.id then incr inserted
+        done;
+        if !inserted >= ar_count then
+          flag Alat_capacity
+            "pair %d,%d: %d advanced loads inside the window evict the entry"
+            f s !inserted)
+      required
+  | Sched.Policy.Mask_scheme ->
+    List.iter
+      (fun (i : Ir.Instr.t) ->
+        flag Annot_scheme "queue instruction %d under the mask scheme" i.id)
+      splices;
+    let full_mask = (1 lsl ar_count) - 1 in
+    Array.iter
+      (fun (i : Ir.Instr.t) ->
+        match Ir.Instr.annot i with
+        | Ir.Annot.No_annot -> ()
+        | Ir.Annot.Mask { set_index; check_mask } ->
+          (match set_index with
+          | Some k when k < 0 || k >= ar_count ->
+            flag Mask_bounds "op %d sets register %d of %d" i.id k ar_count
+          | _ -> ());
+          if check_mask < 0 || check_mask land lnot full_mask <> 0 then
+            flag Mask_bounds "op %d check mask %#x exceeds %d registers" i.id
+              check_mask ar_count
+        | Ir.Annot.Queue _ | Ir.Annot.Alat _ ->
+          flag Annot_scheme "op %d carries a non-mask annotation" i.id)
+      view.flat;
+    let set_index_of id =
+      match annot_of id with
+      | Ir.Annot.Mask { set_index; _ } -> set_index
+      | _ -> None
+    in
+    let check_mask_of id =
+      match annot_of id with
+      | Ir.Annot.Mask { check_mask; _ } -> check_mask
+      | _ -> 0
+    in
+    List.iter
+      (fun ((e : Analysis.Depgraph.edge), pf, ps) ->
+        let f = e.first and s = e.second in
+        match set_index_of s with
+        | None ->
+          flag Mask_uncovered
+            "reordered pair %d,%d: %d sets no alias register" f s s
+        | Some k ->
+          if check_mask_of f land (1 lsl k) = 0 then
+            flag Mask_uncovered
+              "reordered pair %d,%d: %d does not check register %d" f s f k;
+          for p = ps + 1 to pf - 1 do
+            let j = view.flat.(p) in
+            if j.id <> s && set_index_of j.id = Some k then
+              flag Mask_clobbered
+                "pair %d,%d: op %d reuses register %d inside the window" f s
+                j.id k
+          done)
+      required
+  | Sched.Policy.No_scheme ->
+    List.iter
+      (fun (i : Ir.Instr.t) ->
+        flag Annot_scheme "queue instruction %d without a scheme" i.id)
+      splices;
+    Array.iter
+      (fun (i : Ir.Instr.t) ->
+        if Ir.Instr.annot i <> Ir.Annot.No_annot then
+          flag Annot_scheme "op %d annotated without a scheme" i.id)
+      view.flat;
+    List.iter
+      (fun ((e : Analysis.Depgraph.edge), _, _) ->
+        flag Nospec_reordered
+          "pair %d,%d executes in reverse without alias detection" e.first
+          e.second)
+      required);
+
+  match !violations with
+  | [] -> Pass
+  | vs -> Reject (List.rev vs)

@@ -14,6 +14,7 @@ module Opt = Opt
 module Runtime = Runtime
 module Tcache = Tcache
 module Workload = Workload
+module Check = Check
 
 (** Named alias-detection schemes for the command line and harness. *)
 module Scheme = struct
@@ -76,15 +77,16 @@ let config_for = function
     Vliw.Config.default
 
 let run_program ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity
-    ?pipeline ~scheme program =
+    ?pipeline ?verify ~scheme program =
   let cfg = match config with Some c -> c | None -> config_for scheme in
   Runtime.Driver.run ~config:cfg ?fuel ?unroll ?tcache_policy ?tcache_capacity
-    ?pipeline ~scheme:(Scheme.to_driver scheme) program
+    ?pipeline ?verify ~scheme:(Scheme.to_driver scheme) program
 
 let run_benchmark ?config ?fuel ?scale ?tcache_policy ?tcache_capacity
-    ?pipeline ~scheme name =
+    ?pipeline ?verify ~scheme name =
   let bench = Workload.Specfp.find name in
-  run_program ?config ?fuel ?tcache_policy ?tcache_capacity ?pipeline ~scheme
+  run_program ?config ?fuel ?tcache_policy ?tcache_capacity ?pipeline ?verify
+    ~scheme
     (Workload.Specfp.program ?scale bench)
 
 (** [speedup ~baseline ~improved] is baseline-cycles / improved-cycles

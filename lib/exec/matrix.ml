@@ -6,6 +6,7 @@ type job = {
   unroll : int;
   tcache_policy : Tcache.Policy.t;
   tcache_capacity : int option;
+  verify : Check.Verifier.mode;
   program : unit -> Ir.Program.t;
 }
 
@@ -16,13 +17,14 @@ type outcome = {
 }
 
 let job ?config ?(fuel = 1_000_000_000) ?(unroll = 1)
-    ?(tcache_policy = Tcache.Policy.Unbounded) ?tcache_capacity ~scheme ~label
-    program =
-  { label; scheme; config; fuel; unroll; tcache_policy; tcache_capacity; program }
+    ?(tcache_policy = Tcache.Policy.Unbounded) ?tcache_capacity
+    ?(verify = Check.Verifier.Off) ~scheme ~label program =
+  { label; scheme; config; fuel; unroll; tcache_policy; tcache_capacity;
+    verify; program }
 
-let of_bench ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity
+let of_bench ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity ?verify
     ?(scale = 1) ~scheme (b : Workload.Specfp.bench) =
-  job ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity ~scheme
+  job ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity ?verify ~scheme
     ~label:(Printf.sprintf "%s/%s" b.Workload.Specfp.name (Smarq.Scheme.name scheme))
     (fun () -> Workload.Specfp.program ~scale b)
 
@@ -31,7 +33,7 @@ let run_job j =
   let result =
     Smarq.run_program ?config:j.config ~fuel:j.fuel ~unroll:j.unroll
       ~tcache_policy:j.tcache_policy ?tcache_capacity:j.tcache_capacity
-      ~scheme:j.scheme
+      ~verify:j.verify ~scheme:j.scheme
       (j.program ())
   in
   { job = j; result; wall_seconds = Unix.gettimeofday () -. t0 }

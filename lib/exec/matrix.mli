@@ -17,6 +17,8 @@ type job = {
   unroll : int;
   tcache_policy : Tcache.Policy.t;
   tcache_capacity : int option;
+  verify : Check.Verifier.mode;
+      (** static translation validation mode for the job's driver run *)
   program : unit -> Ir.Program.t;  (** called in the worker domain *)
 }
 
@@ -32,11 +34,13 @@ val job :
   ?unroll:int ->
   ?tcache_policy:Tcache.Policy.t ->
   ?tcache_capacity:int ->
+  ?verify:Check.Verifier.mode ->
   scheme:Smarq.Scheme.t ->
   label:string ->
   (unit -> Ir.Program.t) ->
   job
-(** Defaults: fuel 1e9, no unrolling, unbounded translation cache. *)
+(** Defaults: fuel 1e9, no unrolling, unbounded translation cache,
+    verification off. *)
 
 val of_bench :
   ?config:Vliw.Config.t ->
@@ -44,6 +48,7 @@ val of_bench :
   ?unroll:int ->
   ?tcache_policy:Tcache.Policy.t ->
   ?tcache_capacity:int ->
+  ?verify:Check.Verifier.mode ->
   ?scale:int ->
   scheme:Smarq.Scheme.t ->
   Workload.Specfp.bench ->

@@ -10,6 +10,10 @@ type t = {
   region : Ir.Region.t;
   alloc_result : Sched.Smarq_alloc.result option;
   stats : opt_stats;
+  deps : Analysis.Depgraph.t;
+  hazards : Sched.Hazards.t;
+  issue_seq : (int * Ir.Instr.t) list;
+  policy_used : Sched.Policy.t;
 }
 
 let build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
@@ -49,13 +53,15 @@ let build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
       ~latency ~fresh_id ~extra_assumed:elim.Elim.assumed_no_alias ~pipeline
       ?profile ()
   in
-  (outcome, elim)
+  (outcome, elim, deps)
 
 let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
     ?(known_alias = []) ?(pipeline = Sched.Pipeline.Fast) ?profile sb =
   let work_units = 2 * Ir.Superblock.instr_count sb in
-  let finish ~fell_back
-      ((outcome : Sched.List_sched.outcome), (elim : Elim.result)) =
+  let finish ~fell_back ~policy_used
+      ( (outcome : Sched.List_sched.outcome),
+        (elim : Elim.result),
+        (deps : Analysis.Depgraph.t) ) =
     Option.iter
       (fun p ->
         Sched.Profile.note_region p ~instrs:(Ir.Superblock.instr_count sb))
@@ -71,6 +77,10 @@ let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
           fell_back;
           work_units;
         };
+      deps;
+      hazards = outcome.Sched.List_sched.hazards;
+      issue_seq = outcome.Sched.List_sched.issue_seq;
+      policy_used;
     }
   in
   let attempt policy =
@@ -82,10 +92,11 @@ let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
     || policy.Sched.Policy.allow_store_load_forward
     || policy.Sched.Policy.allow_store_elim
   in
-  try finish ~fell_back:false (attempt policy) with
+  try finish ~fell_back:false ~policy_used:policy (attempt policy) with
   | Sched.Smarq_alloc.Overflow _
   | Sched.Mask_alloc.Mask_overflow _
   | Sched.Naive_alloc.Naive_overflow _
+  | Sched.Alat_annot.Alat_overflow _
   | Sched.List_sched.Unschedulable _ ->
     (* Middle tier: eliminations are the register hogs (their extended
        dependences keep registers live across long spans); retry with
@@ -100,11 +111,17 @@ let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
       }
     in
     (try
-       if has_elims then finish ~fell_back:true (attempt reorder_only)
-       else finish ~fell_back:true (attempt (Sched.Policy.none ()))
+       if has_elims then
+         finish ~fell_back:true ~policy_used:reorder_only
+           (attempt reorder_only)
+       else
+         let none = Sched.Policy.none () in
+         finish ~fell_back:true ~policy_used:none (attempt none)
      with
     | Sched.Smarq_alloc.Overflow _
     | Sched.Mask_alloc.Mask_overflow _
     | Sched.Naive_alloc.Naive_overflow _
+    | Sched.Alat_annot.Alat_overflow _
     | Sched.List_sched.Unschedulable _ ->
-      finish ~fell_back:true (attempt (Sched.Policy.none ())))
+      let none = Sched.Policy.none () in
+      finish ~fell_back:true ~policy_used:none (attempt none))

@@ -25,6 +25,15 @@ type t = {
   region : Ir.Region.t;
   alloc_result : Sched.Smarq_alloc.result option;
   stats : opt_stats;
+  deps : Analysis.Depgraph.t;
+      (** dependence graph of the final (post-elimination) body *)
+  hazards : Sched.Hazards.t;
+      (** hazard graph the schedule was built against *)
+  issue_seq : (int * Ir.Instr.t) list;
+      (** (cycle, instruction) issue order before materialization *)
+  policy_used : Sched.Policy.t;
+      (** policy of the attempt that actually produced the region —
+          differs from the requested policy after an overflow fallback *)
 }
 
 val optimize :

@@ -78,6 +78,7 @@ val run :
   ?watchdog:int ->
   ?hooks:hooks ->
   ?pipeline:Sched.Pipeline.t ->
+  ?verify:Check.Verifier.mode ->
   scheme:scheme ->
   Ir.Program.t ->
   result
@@ -110,4 +111,13 @@ val run :
     bound the code cache; evicted regions are re-translated when their
     entry label turns hot again.  Committed region exits are chained to
     resident translations so repeat dispatches skip the cache lookup;
-    the cache's telemetry is folded into the result's [stats]. *)
+    the cache's telemetry is folded into the result's [stats].
+
+    [verify] (default [Off]) runs the {!Check.Verifier} translation
+    validator on freshly built and re-optimized regions before they are
+    installed: [All] checks every one, [Sample] every 8th (a
+    deterministic counter, so runs stay reproducible).  A region that
+    fails validation is never executed — its label is degraded to
+    interpreter-only execution exactly like a watchdog kill, and the
+    verdict is recorded in [Stats.verified_regions],
+    [Stats.rejected_regions] and the per-rule reject histogram. *)

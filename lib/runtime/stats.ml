@@ -18,6 +18,10 @@ type t = {
   mutable injected_faults : int;
   mutable spurious_rollbacks : int;
   mutable degraded_regions : int;
+  (* translation validation *)
+  mutable verified_regions : int;
+  mutable rejected_regions : int;
+  reject_rules : (string, int) Hashtbl.t;
   (* translation cache *)
   mutable tcache_hits : int;
   mutable tcache_misses : int;
@@ -65,6 +69,9 @@ let create () =
     injected_faults = 0;
     spurious_rollbacks = 0;
     degraded_regions = 0;
+    verified_regions = 0;
+    rejected_regions = 0;
+    reject_rules = Hashtbl.create 8;
     tcache_hits = 0;
     tcache_misses = 0;
     tcache_evictions = 0;
@@ -115,6 +122,18 @@ let note_region_built t (o : Opt.Optimizer.t) ~ws =
   t.dropped_edges <- t.dropped_edges + ss.Sched.List_sched.dropped_pairs;
   t.working_set <- Sched.Working_set.add t.working_set ws
 
+let note_reject t rules =
+  t.rejected_regions <- t.rejected_regions + 1;
+  List.iter
+    (fun rule ->
+      Hashtbl.replace t.reject_rules rule
+        (1 + Option.value (Hashtbl.find_opt t.reject_rules rule) ~default:0))
+    (List.sort_uniq compare rules)
+
+let reject_histogram t =
+  Hashtbl.fold (fun rule n acc -> (rule, n) :: acc) t.reject_rules []
+  |> List.sort compare
+
 let note_tcache t (tel : Tcache.Telemetry.t) =
   t.tcache_hits <- t.tcache_hits + tel.Tcache.Telemetry.hits;
   t.tcache_misses <- t.tcache_misses + tel.Tcache.Telemetry.misses;
@@ -164,6 +183,13 @@ let pp ppf t =
     f "  degraded regions" t.degraded_regions
   end;
   f "regions built" t.regions_built;
+  if t.verified_regions > 0 || t.rejected_regions > 0 then begin
+    f "regions verified" t.verified_regions;
+    f "  rejected" t.rejected_regions;
+    List.iter
+      (fun (rule, n) -> Format.fprintf ppf "    %-24s %d@." rule n)
+      (reject_histogram t)
+  end;
   f "tcache hits" t.tcache_hits;
   f "tcache misses" t.tcache_misses;
   f "tcache evictions" t.tcache_evictions;

@@ -32,6 +32,15 @@ type t = {
   mutable degraded_regions : int;
       (** regions the livelock watchdog blacklisted to interpreter-only
           execution after faulting repeatedly without a commit *)
+  (* translation validation *)
+  mutable verified_regions : int;
+      (** regions the static verifier examined (0 with verification off) *)
+  mutable rejected_regions : int;
+      (** regions the verifier rejected; each is also degraded to
+          interpreter-only execution *)
+  reject_rules : (string, int) Hashtbl.t;
+      (** rule name -> number of rejected regions that violated it (a
+          region violating a rule several times counts once) *)
   (* translation cache (copied from [Tcache.Telemetry] after a run) *)
   mutable tcache_hits : int;
   mutable tcache_misses : int;
@@ -74,6 +83,14 @@ type t = {
 val create : unit -> t
 
 val note_region_built : t -> Opt.Optimizer.t -> ws:Sched.Working_set.t -> unit
+
+val note_reject : t -> string list -> unit
+(** Record a rejected region; the list holds the names of the violated
+    rules (deduplicated before counting). *)
+
+val reject_histogram : t -> (string * int) list
+(** (rule, count) pairs in ascending rule order — deterministic for
+    JSON emission. *)
 
 val note_tcache : t -> Tcache.Telemetry.t -> unit
 (** Fold a translation cache's telemetry into the run's statistics

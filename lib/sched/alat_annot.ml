@@ -1,4 +1,6 @@
-let annotate ~sb ~deps ~hazards ~issue_order =
+exception Alat_overflow of string
+
+let annotate ~sb ~deps ~hazards ~issue_order ~ar_count =
   ignore sb;
   let issue_pos = Hashtbl.create 64 in
   List.iteri
@@ -18,11 +20,49 @@ let annotate ~sb ~deps ~hazards ~issue_order =
       | Analysis.Depgraph.Extended -> Hashtbl.replace advanced e.second ()
       | Analysis.Depgraph.Real -> ())
     (Analysis.Depgraph.edges deps);
-  List.filter_map
-    (fun (_, (i : Ir.Instr.t)) ->
-      if Ir.Instr.is_load i && Hashtbl.mem advanced i.id then
-        Some (i.id, Ir.Annot.alat ~advanced:true)
-      else if Ir.Instr.is_store i then
-        Some (i.id, Ir.Annot.alat ~advanced:false)
-      else None)
-    issue_order
+  let annots =
+    List.filter_map
+      (fun (_, (i : Ir.Instr.t)) ->
+        if Ir.Instr.is_load i && Hashtbl.mem advanced i.id then
+          Some (i.id, Ir.Annot.alat ~advanced:true)
+        else if Ir.Instr.is_store i then
+          Some (i.id, Ir.Annot.alat ~advanced:false)
+        else None)
+      issue_order
+  in
+  (* The ALAT holds [ar_count] entries and evicts the oldest on
+     overflow — an evicted advanced load silently loses its protection
+     (the modeled hardware, unlike Itanium's chk.a, cannot fail
+     conservatively on a missing entry).  A total population above
+     [ar_count] is fine as long as each entry survives until the store
+     it guards snoops the table: the precise bound is per protection
+     window.  Count the advanced loads issued strictly between a
+     reordered load and the store it was hoisted above; if [ar_count]
+     or more fit inside that window, FIFO eviction can drop the entry
+     before the check and the optimizer must fall back. *)
+  let flat = Array.of_list (List.map snd issue_order) in
+  let window_overflow ~ps ~pf =
+    let inserted = ref 0 in
+    for p = ps + 1 to pf - 1 do
+      let j = flat.(p) in
+      if Ir.Instr.is_load j && Hashtbl.mem advanced j.id then incr inserted
+    done;
+    if !inserted >= ar_count then
+      raise
+        (Alat_overflow
+           (Printf.sprintf
+              "%d advanced loads inside a protection window evict the \
+               entry before its check (%d-entry ALAT)"
+              !inserted ar_count))
+  in
+  List.iter
+    (fun (first, second) ->
+      let pf = pos first and ps = pos second in
+      if ps < pf && pf <> max_int then window_overflow ~ps ~pf)
+    Hazards.(hazards.dropped);
+  List.iter
+    (fun (e : Analysis.Depgraph.edge) ->
+      let pf = pos e.first and ps = pos e.second in
+      if ps < pf && pf <> max_int then window_overflow ~ps ~pf)
+    (Analysis.Depgraph.edges deps);
+  annots

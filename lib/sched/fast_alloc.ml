@@ -4,10 +4,12 @@ type t = {
   max_offset : int;
 }
 
+type error = { cycle : Analysis.Constraints.edge list }
+
 let allocate ~issue_order ~p_bit ~c_bit ~edges =
   let ids = List.filter (fun id -> p_bit id || c_bit id) issue_order in
   match Analysis.Constraints.topological_order edges ~ids with
-  | None -> None
+  | None -> Error { cycle = Analysis.Constraints.cycle_edges edges ~ids }
   | Some topo ->
     let order = Hashtbl.create 64 in
     let next = ref 0 in
@@ -42,4 +44,4 @@ let allocate ~issue_order ~p_bit ~c_bit ~edges =
           | _ -> acc)
         (-1) ids
     in
-    Some { order; base; max_offset }
+    Ok { order; base; max_offset }

@@ -18,11 +18,17 @@ type t = {
   max_offset : int;
 }
 
+type error = {
+  cycle : Analysis.Constraints.edge list;
+      (** witness: the constraint edges forming the cyclic core *)
+}
+
 val allocate :
   issue_order:int list ->
   p_bit:(int -> bool) ->
   c_bit:(int -> bool) ->
   edges:Analysis.Constraints.edge list ->
-  t option
-(** [None] when the constraint graph has a cycle (the integrated
-    algorithm would have inserted an AMOV). *)
+  (t, error) result
+(** [Error] when the constraint graph has a cycle (the integrated
+    algorithm would have inserted an AMOV); the witness lists the
+    edges of the cyclic core so callers can report {e why}. *)

@@ -17,6 +17,8 @@ type outcome = {
   region : Ir.Region.t;
   alloc_result : Smarq_alloc.result option;
   stats : stats;
+  hazards : Hazards.t;
+  issue_seq : (int * Ir.Instr.t) list;
 }
 
 exception Unschedulable of string
@@ -510,6 +512,7 @@ let schedule ~sb ~deps ~policy ~issue_width ~mem_ports ~latency ~fresh_id
         Option.map Smarq_alloc.finish alloc)
   in
   Profile.time profile Profile.add_emit @@ fun () ->
+  let issue_seq = List.rev issued.seq in
   let annots, rotations, amovs =
     match alloc_result with
     | Some r -> (r.Smarq_alloc.annots, r.Smarq_alloc.rotations, r.Smarq_alloc.amovs)
@@ -520,20 +523,19 @@ let schedule ~sb ~deps ~policy ~issue_width ~mem_ports ~latency ~fresh_id
     match policy.Policy.scheme with
     | Policy.Queue_scheme | Policy.No_scheme -> (annots, rotations, None)
     | Policy.Alat_scheme ->
-      ( Alat_annot.annotate ~sb ~deps ~hazards
-          ~issue_order:(List.rev issued.seq),
+      ( Alat_annot.annotate ~sb ~deps ~hazards ~issue_order:issue_seq
+          ~ar_count:policy.Policy.ar_count,
         rotations,
         None )
     | Policy.Mask_scheme ->
-      ( Mask_alloc.annotate ~deps ~hazards
-          ~issue_order:(List.rev issued.seq)
+      ( Mask_alloc.annotate ~deps ~hazards ~issue_order:issue_seq
           ~ar_count:policy.Policy.ar_count,
         rotations,
         None )
     | Policy.Naive_queue_scheme ->
       let r =
         Naive_alloc.annotate ~body:sb.Ir.Superblock.body
-          ~issue_order:(List.rev issued.seq)
+          ~issue_order:issue_seq
           ~ar_count:policy.Policy.ar_count
       in
       (r.Naive_alloc.annots, r.Naive_alloc.rotations,
@@ -592,4 +594,4 @@ let schedule ~sb ~deps ~policy ~issue_width ~mem_ports ~latency ~fresh_id
       used_nonspec_mode = used_nonspec;
     }
   in
-  { region; alloc_result; stats }
+  { region; alloc_result; stats; hazards; issue_seq }

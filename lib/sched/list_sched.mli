@@ -36,6 +36,12 @@ type outcome = {
   region : Ir.Region.t;
   alloc_result : Smarq_alloc.result option;  (** queue scheme only *)
   stats : stats;
+  hazards : Hazards.t;
+      (** the hazard graph the schedule was built against, kept for
+          translation validation ({!Check.Verifier}) *)
+  issue_seq : (int * Ir.Instr.t) list;
+      (** (cycle, instruction) in issue order — the schedule before
+          materialization splices AMOV/ROTATE ops in *)
 }
 
 exception Unschedulable of string

@@ -10,12 +10,21 @@ let check_pairs ~deps ~hazards ~pos =
     (fun (e : Analysis.Depgraph.edge) ->
       let a = e.Analysis.Depgraph.first and b = e.second in
       match e.kind, e.strength with
-      | _, Analysis.Depgraph.Hard -> ()
+      | Analysis.Depgraph.Real, Analysis.Depgraph.Hard ->
+        (* order enforced by a hazard edge; never reordered, no check *)
+        ()
       | Analysis.Depgraph.Real, Analysis.Depgraph.Speculative ->
         (* checked only if actually reordered (b issued before a) *)
         if pos b < pos a then pairs := (b, a) :: !pairs
-      | Analysis.Depgraph.Extended, Analysis.Depgraph.Speculative ->
-        (* always checked, in whichever issue order the pair landed *)
+      | Analysis.Depgraph.Extended, _ ->
+        (* always checked, in whichever issue order the pair landed.
+           Hard extended edges are checked too: unlike real hard
+           edges no hazard pins the pair's order, so an elimination
+           whose span a known-alias store crosses (reoptimization
+           feeds observed pairs back as must-alias, and pairwise
+           verdicts are not transitive) still needs its runtime
+           guard — the SMARQ and ALAT annotators already cover
+           extended edges of either strength. *)
         if pos a < pos b then pairs := (a, b) :: !pairs
         else pairs := (b, a) :: !pairs)
     (Analysis.Depgraph.edges deps);

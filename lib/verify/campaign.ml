@@ -4,6 +4,7 @@ type config = {
   schemes : Smarq.Scheme.t list;
   scale : int;
   fuel : int;
+  verify : Check.Verifier.mode;
 }
 
 let default_config =
@@ -13,6 +14,7 @@ let default_config =
     schemes = Smarq.Scheme.all @ [ Smarq.Scheme.None_static ];
     scale = 1;
     fuel = 1_000_000_000;
+    verify = Check.Verifier.All;
   }
 
 type run = {
@@ -34,7 +36,7 @@ let run_program cfg ~name program =
       let report =
         Oracle.check ~fuel:cfg.fuel
           ~fault:(fun ~seed ~rate () -> Fault.plan ~seed ~rate ())
-          ~seed ~rate:cfg.rate
+          ~verify:cfg.verify ~seed ~rate:cfg.rate
           ~name ~schemes:cfg.schemes (program ())
       in
       List.map (fun entry -> { bench = name; seed; entry }) report.Oracle.entries)
@@ -50,6 +52,30 @@ let run_benches cfg benches =
   in
   { config = cfg; runs }
 
+(* How a run's static verdict relates to the dynamic oracle's — the
+   campaign's translation-validation cross-check.  Agreement means
+   both say sound or both flag the run; a static reject with a clean
+   oracle is a (conservative) verifier false alarm; a divergence the
+   verifier missed is the serious direction. *)
+type cross_check =
+  | Both_ok
+  | Static_reject_only
+  | Dynamic_diverge_only
+  | Both_flag
+
+let cross_check_of_entry (e : Oracle.entry) =
+  match (Oracle.entry_static_ok e, e.Oracle.divergence = []) with
+  | true, true -> Both_ok
+  | false, true -> Static_reject_only
+  | true, false -> Dynamic_diverge_only
+  | false, false -> Both_flag
+
+let cross_check_name = function
+  | Both_ok -> "both_ok"
+  | Static_reject_only -> "static_reject_only"
+  | Dynamic_diverge_only -> "dynamic_diverge_only"
+  | Both_flag -> "both_flag"
+
 let json_line cfg r =
   let st = r.entry.Oracle.stats in
   Printf.sprintf
@@ -57,7 +83,8 @@ let json_line cfg r =
      \"outcome\":\"%s\",\"ok\":%b,\"injected_faults\":%d,\
      \"spurious_rollbacks\":%d,\"degraded_regions\":%d,\"rollbacks\":%d,\
      \"reoptimizations\":%d,\"pinned_ops\":%d,\"gave_up_regions\":%d,\
-     \"total_cycles\":%d}"
+     \"total_cycles\":%d,\"verified_regions\":%d,\"rejected_regions\":%d,\
+     \"static_ok\":%b,\"cross_check\":\"%s\"}"
     r.bench r.entry.Oracle.scheme r.seed cfg.rate
     (match r.entry.Oracle.outcome with
     | Runtime.Driver.Completed -> "completed"
@@ -67,6 +94,9 @@ let json_line cfg r =
     st.Runtime.Stats.degraded_regions st.Runtime.Stats.rollbacks
     st.Runtime.Stats.reoptimizations st.Runtime.Stats.pinned_ops
     st.Runtime.Stats.gave_up_regions st.Runtime.Stats.total_cycles
+    st.Runtime.Stats.verified_regions st.Runtime.Stats.rejected_regions
+    (Oracle.entry_static_ok r.entry)
+    (cross_check_name (cross_check_of_entry r.entry))
 
 let pp_summary ppf r =
   let total = List.length r.runs in
@@ -81,6 +111,15 @@ let pp_summary ppf r =
       (fun acc c -> acc + c.entry.Oracle.stats.Runtime.Stats.degraded_regions)
       0 r.runs
   in
+  let verified =
+    List.fold_left
+      (fun acc c -> acc + c.entry.Oracle.stats.Runtime.Stats.verified_regions)
+      0 r.runs
+  in
+  let count x =
+    List.length
+      (List.filter (fun c -> cross_check_of_entry c.entry = x) r.runs)
+  in
   Format.fprintf ppf
     "fault campaign: %d runs (%d seeds x %d schemes), %d faults injected, %d \
      regions degraded, %d divergences@."
@@ -88,6 +127,12 @@ let pp_summary ppf r =
     (List.length r.config.seeds)
     (List.length r.config.schemes)
     injected degraded (List.length failed);
+  if r.config.verify <> Check.Verifier.Off then
+    Format.fprintf ppf
+      "static cross-check: %d regions verified; runs: %d both ok, %d static \
+       reject only, %d dynamic diverge only, %d both flag@."
+      verified (count Both_ok) (count Static_reject_only)
+      (count Dynamic_diverge_only) (count Both_flag);
   List.iter
     (fun c ->
       Format.fprintf ppf "  FAILED %s seed %d: %a@." c.bench c.seed

@@ -12,11 +12,14 @@ type config = {
   schemes : Smarq.Scheme.t list;
   scale : int;  (** workload scale for suite benchmarks *)
   fuel : int;  (** guest blocks per optimized run *)
+  verify : Check.Verifier.mode;
+      (** static translation validation inside each driver run; a
+          rejected region fails its run's entry like a divergence *)
 }
 
 val default_config : config
 (** Seeds [1; 2; 3], rate 0.05, every scheme in [Smarq.Scheme.all]
-    plus [None_static], scale 1, fuel 1e9. *)
+    plus [None_static], scale 1, fuel 1e9, verification on ([All]). *)
 
 type run = {
   bench : string;
@@ -30,6 +33,20 @@ type result = {
 }
 
 val ok : result -> bool
+
+(** Agreement between a run's static verdict and the dynamic oracle's.
+    [Static_reject_only] is a conservative verifier false alarm (the
+    rejected region was degraded, so the run still converged);
+    [Dynamic_diverge_only] is the serious direction — a divergence the
+    verifier failed to predict. *)
+type cross_check =
+  | Both_ok
+  | Static_reject_only
+  | Dynamic_diverge_only
+  | Both_flag
+
+val cross_check_of_entry : Oracle.entry -> cross_check
+val cross_check_name : cross_check -> string
 
 val run_program :
   config -> name:string -> (unit -> Ir.Program.t) -> run list

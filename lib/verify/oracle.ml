@@ -11,7 +11,12 @@ type report = {
   entries : entry list;
 }
 
-let entry_ok e = e.outcome = Runtime.Driver.Completed && e.divergence = []
+let entry_static_ok e = e.stats.Runtime.Stats.rejected_regions = 0
+
+let entry_ok e =
+  e.outcome = Runtime.Driver.Completed
+  && e.divergence = [] && entry_static_ok e
+
 let ok r = List.for_all entry_ok r.entries
 
 let reference ?(fuel = 200_000_000) program =
@@ -20,7 +25,7 @@ let reference ?(fuel = 200_000_000) program =
   m
 
 let run_scheme ?config ?(fuel = 1_000_000_000) ?tcache_policy
-    ?tcache_capacity ?watchdog ?fault ~scheme program =
+    ?tcache_capacity ?watchdog ?fault ?verify ~scheme program =
   let config =
     match config with Some c -> c | None -> Smarq.config_for scheme
   in
@@ -39,7 +44,7 @@ let run_scheme ?config ?(fuel = 1_000_000_000) ?tcache_policy
   in
   let r =
     Runtime.Driver.run ~config ~fuel ?tcache_policy ?tcache_capacity
-      ?watchdog ?hooks ~scheme:driver_scheme program
+      ?watchdog ?hooks ?verify ~scheme:driver_scheme program
   in
   let injected =
     match fault with
@@ -48,7 +53,7 @@ let run_scheme ?config ?(fuel = 1_000_000_000) ?tcache_policy
   in
   (r, injected)
 
-let check ?config ?fuel ?interp_fuel ?watchdog ?fault ?(seed = 1)
+let check ?config ?fuel ?interp_fuel ?watchdog ?fault ?verify ?(seed = 1)
     ?(rate = 0.05) ?(name = "program") ~schemes program =
   let oracle = reference ?fuel:interp_fuel program in
   let entries =
@@ -58,7 +63,8 @@ let check ?config ?fuel ?interp_fuel ?watchdog ?fault ?(seed = 1)
           Option.map (fun mk -> mk ~seed ~rate ()) fault
         in
         let r, injected =
-          run_scheme ?config ?fuel ?watchdog ?fault:plan ~scheme program
+          run_scheme ?config ?fuel ?watchdog ?fault:plan ?verify ~scheme
+            program
         in
         let divergence =
           match r.Runtime.Driver.outcome with
@@ -86,13 +92,17 @@ let check ?config ?fuel ?interp_fuel ?watchdog ?fault ?(seed = 1)
 
 let pp_entry ppf e =
   let st = e.stats in
-  Format.fprintf ppf "%-14s %-9s injected %4d, spurious %4d, degraded %2d%s"
+  Format.fprintf ppf "%-14s %-9s injected %4d, spurious %4d, degraded %2d%s%s"
     e.scheme
     (match e.outcome with
     | Runtime.Driver.Completed -> "completed"
     | Runtime.Driver.Fuel_exhausted -> "OUT-OF-FUEL")
     e.injected st.Runtime.Stats.spurious_rollbacks
     st.Runtime.Stats.degraded_regions
+    (if entry_static_ok e then ""
+     else
+       Printf.sprintf ", STATIC REJECT: %d/%d regions"
+         st.Runtime.Stats.rejected_regions st.Runtime.Stats.verified_regions)
     (match e.divergence with
     | [] -> ", state = oracle"
     | d :: _ -> Printf.sprintf ", DIVERGED: %s" d)

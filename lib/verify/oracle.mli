@@ -24,8 +24,14 @@ type report = {
   entries : entry list;
 }
 
+val entry_static_ok : entry -> bool
+(** The run's static verifier rejected no region (vacuously true with
+    verification off). *)
+
 val entry_ok : entry -> bool
-(** Completed and converged to the oracle's state. *)
+(** Completed, converged to the oracle's state, and no static
+    rejections — the dynamic and static verdicts must agree that the
+    run was sound. *)
 
 val ok : report -> bool
 
@@ -40,6 +46,7 @@ val run_scheme :
   ?tcache_capacity:int ->
   ?watchdog:int ->
   ?fault:Fault.plan ->
+  ?verify:Check.Verifier.mode ->
   scheme:Smarq.Scheme.t ->
   Ir.Program.t ->
   Runtime.Driver.result * int
@@ -55,6 +62,7 @@ val check :
   ?interp_fuel:int ->
   ?watchdog:int ->
   ?fault:(seed:int -> rate:float -> unit -> Fault.plan) ->
+  ?verify:Check.Verifier.mode ->
   ?seed:int ->
   ?rate:float ->
   ?name:string ->

@@ -350,8 +350,10 @@ let test_fast_alloc_agrees () =
          ~c_bit:(Hashtbl.mem a.C.c_bit)
          ~edges:(res.Sched.Smarq_alloc.check_edges @ res.Sched.Smarq_alloc.anti_edges)
      with
-    | None -> Alcotest.fail "fast alloc found a cycle"
-    | Some fa ->
+    | Error { Sched.Fast_alloc.cycle } ->
+      Alcotest.failf "fast alloc found a cycle: %d witness edges"
+        (List.length cycle)
+    | Ok fa ->
       Alcotest.(check int) "same working set"
         res.Sched.Smarq_alloc.max_offset fa.Sched.Fast_alloc.max_offset)
 
