@@ -761,6 +761,143 @@ let translate_exp ~domains:_ =
      regions are large enough that the asymptotic gap dominates.\n"
     unroll
 
+(* ---- Translation service: throughput and latency percentiles under
+   load.  A closed loop measures each domain count's sustainable
+   throughput, then an open-loop arrival-rate sweep (0.5x / 1x / 2x of
+   that capacity) drives the service below, at, and past saturation —
+   the 2x point is where admission control must reject rather than
+   queue without bound.  Rejections are counted separately from errors
+   throughout.  Writes BENCH_SERVE.json at the repo root. ---- *)
+
+let serve_out_path =
+  match Sys.getenv_opt "BENCH_SERVE" with
+  | Some p -> p
+  | None -> "BENCH_SERVE.json"
+
+let serve_exp ~domains:_ =
+  hr "Translation service: throughput and latency under load (JSON)";
+  let requests =
+    match Sys.getenv_opt "BENCH_SERVE_REQS" with
+    | Some s -> (try max 4 (int_of_string (String.trim s)) with _ -> 48)
+    | None -> 48
+  in
+  let tenants = 2 in
+  let jobs =
+    Array.of_list
+      (List.map
+         (fun (b : Workload.Specfp.bench) ->
+           Exec.Matrix.of_bench ~verify:bench_verify
+             ~scheme:(Smarq.Scheme.Smarq 64) b)
+         Workload.Specfp.suite)
+  in
+  let run_point ~domains ~mode =
+    let config =
+      {
+        Serve.Server.default_config with
+        Serve.Server.domains;
+        queue_limit = 4 * domains;
+      }
+    in
+    let server = Serve.Server.create ~config () in
+    let spec =
+      {
+        Serve.Loadgen.mode;
+        requests;
+        tenants;
+        shared_cache = true;
+        fault = None;
+        jobs;
+      }
+    in
+    let res = Serve.Loadgen.run server spec in
+    Serve.Server.shutdown server;
+    let r = res.Serve.Loadgen.report in
+    jobs_this_experiment := !jobs_this_experiment + r.Serve.Server.completed;
+    sim_seconds_this_experiment :=
+      !sim_seconds_this_experiment +. r.Serve.Server.sim_seconds;
+    injected_this_experiment :=
+      !injected_this_experiment + r.Serve.Server.injected_faults;
+    res
+  in
+  let point_json ~domains (res : Serve.Loadgen.result) =
+    Printf.sprintf
+      "{\"mode\":\"%s\",\"domains\":%d,\"offered_rps\":%s,\
+       \"elapsed_s\":%.6f,\"throughput_rps\":%.3f,\"report\":%s}"
+      (match res.Serve.Loadgen.offered_rps with
+      | Some _ -> "open"
+      | None -> "closed")
+      domains
+      (match res.Serve.Loadgen.offered_rps with
+      | Some r -> Printf.sprintf "%.3f" r
+      | None -> "null")
+      res.Serve.Loadgen.elapsed_s res.Serve.Loadgen.throughput_rps
+      (Serve.Server.report_json res.Serve.Loadgen.report)
+  in
+  let row ~domains (res : Serve.Loadgen.result) =
+    let r = res.Serve.Loadgen.report in
+    Printf.printf
+      "%-6s %2dd %9s %9.2f %5d %5d %4d %8.4f %8.4f %8.4f\n"
+      (match res.Serve.Loadgen.offered_rps with
+      | Some _ -> "open"
+      | None -> "closed")
+      domains
+      (match res.Serve.Loadgen.offered_rps with
+      | Some r -> Printf.sprintf "%.1f" r
+      | None -> "-")
+      res.Serve.Loadgen.throughput_rps r.Serve.Server.completed
+      r.Serve.Server.rejected r.Serve.Server.errors
+      r.Serve.Server.total.Runtime.Percentiles.p50
+      r.Serve.Server.total.Runtime.Percentiles.p95
+      r.Serve.Server.total.Runtime.Percentiles.p99
+  in
+  Printf.printf "%-6s %3s %9s %9s %5s %5s %4s %8s %8s %8s\n" "mode" "dom"
+    "offered" "rps" "done" "rej" "err" "p50(s)" "p95(s)" "p99(s)";
+  let points = ref [] in
+  let errors = ref 0 in
+  List.iter
+    (fun domains ->
+      let closed =
+        run_point ~domains
+          ~mode:(Serve.Loadgen.Closed { clients = 2 * domains })
+      in
+      row ~domains closed;
+      points := point_json ~domains closed :: !points;
+      errors :=
+        !errors + closed.Serve.Loadgen.report.Serve.Server.errors;
+      let capacity = max 1.0 closed.Serve.Loadgen.throughput_rps in
+      List.iter
+        (fun mult ->
+          let rate = capacity *. mult in
+          let opened =
+            run_point ~domains ~mode:(Serve.Loadgen.Open { rate })
+          in
+          row ~domains opened;
+          points := point_json ~domains opened :: !points;
+          errors :=
+            !errors + opened.Serve.Loadgen.report.Serve.Server.errors)
+        [ 0.5; 1.0; 2.0 ])
+    [ 1; 2 ];
+  let json =
+    Printf.sprintf
+      "{\"experiment\":\"serve\",\"requests_per_point\":%d,\"tenants\":%d,\
+       \"benchmarks\":%d,\"points\":[%s]}"
+      requests tenants (Array.length jobs)
+      (String.concat "," (List.rev !points))
+  in
+  let oc = open_out serve_out_path in
+  output_string oc json;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" serve_out_path;
+  Printf.printf
+    "closed loop measures sustainable throughput per domain count; the\n\
+     open-loop sweep shows latency climbing toward saturation and the\n\
+     2x point shedding load through admission control (rejections, not\n\
+     errors).  Tenant shards keep hot regions translated across\n\
+     requests.\n";
+  if !errors > 0 then
+    Printf.printf "WARNING: %d requests failed with errors\n" !errors
+
 (* ---- Fault campaign: seeded injection across schemes, every run
    checked against the interpreter oracle.  Emits the same JSON lines
    as `smarq_run fuzz`, so BENCH_* trajectories can track recovery
@@ -805,6 +942,7 @@ let experiments =
     ("unroll", unroll_exp);
     ("tcache", tcache_exp);
     ("translate", translate_exp);
+    ("serve", serve_exp);
     ("faults", faults_exp);
     ("micro", micro);
   ]

@@ -576,6 +576,167 @@ let region_cmd =
        ~doc:"Show the annotated translation of a benchmark's hot region")
     Term.(const run $ bench_arg $ scheme_arg)
 
+let serve_cmd =
+  let requests_arg =
+    let doc = "Total requests to issue." in
+    Arg.(value & opt positive_int_conv 64 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let tenants_arg =
+    let doc = "Round-robin tenant count (t0, t1, ...)." in
+    Arg.(value & opt positive_int_conv 2 & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let queue_limit_arg =
+    let doc =
+      "Admission bound: max accepted-but-unfinished requests; arrivals \
+       beyond it are rejected (counted separately from errors)."
+    in
+    Arg.(
+      value & opt positive_int_conv 64 & info [ "queue-limit" ] ~docv:"N" ~doc)
+  in
+  let batch_arg =
+    let doc = "Requests per pool dispatch, per tenant (1 = no batching)." in
+    Arg.(value & opt positive_int_conv 1 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let clients_arg =
+    let doc = "Closed-loop pipeline depth (ignored with $(b,--rate))." in
+    Arg.(value & opt positive_int_conv 4 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let arrival_rate_arg =
+    let doc =
+      "Open-loop arrival rate in requests/second; omit for a closed loop."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate"; "arrival-rate" ] ~docv:"RPS" ~doc)
+  in
+  let private_cache_arg =
+    let doc =
+      "Give every request a private translation cache instead of the \
+       tenant's shared per-worker shard."
+    in
+    Arg.(value & flag & info [ "private-cache" ] ~doc)
+  in
+  let tenant_budget_arg =
+    let doc =
+      "Per-tenant eviction budget: capacity of every tenant shard in \
+       scheduled-region instructions (default: unlimited)."
+    in
+    Arg.(
+      value
+      & opt (some positive_int_conv) None
+      & info [ "tenant-budget" ] ~docv:"INSTRS" ~doc)
+  in
+  let shard_policy_arg =
+    let doc = "Eviction policy of the tenant shards." in
+    Arg.(
+      value
+      & opt tcache_policy_conv Smarq.Tcache.Policy.Lru
+      & info [ "shard-policy" ] ~docv:"POLICY" ~doc)
+  in
+  let report_arg =
+    let doc = "Write the JSON service report to this file." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"PATH" ~doc)
+  in
+  let bench_opt_arg =
+    let doc =
+      "Restrict the workload to one benchmark (default: the whole suite)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+  in
+  let run requests tenants domains queue_limit batch clients rate private_cache
+      tenant_budget shard_policy scale bench scheme fault_seed fault_rate
+      report =
+    let benches =
+      match bench with
+      | None -> Workload.Specfp.suite
+      | Some name -> [ find_bench name ]
+    in
+    let jobs =
+      Array.of_list
+        (List.map
+           (fun b ->
+             Exec.Matrix.of_bench ~fuel:2_000_000_000 ~scale ~scheme b)
+           benches)
+    in
+    let config =
+      {
+        Serve.Server.domains;
+        queue_limit;
+        batch;
+        shard_policy;
+        tenant_budget;
+      }
+    in
+    let server = Serve.Server.create ~config () in
+    let mode =
+      match rate with
+      | Some rate -> Serve.Loadgen.Open { rate }
+      | None -> Serve.Loadgen.Closed { clients }
+    in
+    let fault =
+      Option.map
+        (fun seed -> { Serve.Server.fault_seed = seed; fault_rate })
+        fault_seed
+    in
+    let spec =
+      {
+        Serve.Loadgen.mode;
+        requests;
+        tenants;
+        shared_cache = not private_cache;
+        fault;
+        jobs;
+      }
+    in
+    let res = Serve.Loadgen.run server spec in
+    Serve.Server.shutdown server;
+    let r = res.Serve.Loadgen.report in
+    Printf.printf
+      "served %d requests on %d domains (%d tenants, %s loop): %.2f req/s\n"
+      r.Serve.Server.completed domains tenants
+      (match mode with
+      | Serve.Loadgen.Open _ -> "open"
+      | Serve.Loadgen.Closed _ -> "closed")
+      res.Serve.Loadgen.throughput_rps;
+    Format.printf "%a@." Serve.Server.pp_report r;
+    Format.print_flush ();
+    (match report with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\"domains\":%d,\"tenants\":%d,\"elapsed_s\":%.6f,\
+         \"throughput_rps\":%.3f,%s\"report\":%s}\n"
+        domains tenants res.Serve.Loadgen.elapsed_s
+        res.Serve.Loadgen.throughput_rps
+        (match res.Serve.Loadgen.offered_rps with
+        | Some r -> Printf.sprintf "\"offered_rps\":%.3f," r
+        | None -> "")
+        (Serve.Server.report_json r);
+      close_out oc;
+      Printf.printf "report written to %s\n" path);
+    if r.Serve.Server.errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Translation-as-a-service: run a multi-tenant request stream \
+          against the sharded concurrent runtime and report throughput \
+          and latency percentiles; exits non-zero if any request errors \
+          (admission rejections are not errors)")
+    Term.(
+      const run $ requests_arg $ tenants_arg $ jobs_arg $ queue_limit_arg
+      $ batch_arg $ clients_arg $ arrival_rate_arg $ private_cache_arg
+      $ tenant_budget_arg $ shard_policy_arg $ scale_arg $ bench_opt_arg
+      $ scheme_arg $ fault_seed_arg $ fault_rate_arg $ report_arg)
+
 let () =
   let info =
     Cmd.info "smarq_run" ~version:"1.0"
@@ -584,4 +745,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; compare_cmd; region_cmd; fuzz_cmd; verify_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            compare_cmd;
+            region_cmd;
+            fuzz_cmd;
+            verify_cmd;
+            serve_cmd;
+          ]))

@@ -56,6 +56,11 @@ val of_bench :
 (** A job over a suite benchmark at [scale] (default 1), labelled
     ["bench/scheme"]. *)
 
+val run_job : job -> outcome
+(** Run one job in the calling domain — the deterministic unit both
+    {!run_matrix} and the serve subsystem's matrix client fan out, so
+    the two paths are bit-identical by construction. *)
+
 val run_matrix : ?domains:int -> job list -> outcome list
 (** Run every job, using up to [domains] domains (default
     {!Pool.default_domains}); outcomes are in job-list order. *)

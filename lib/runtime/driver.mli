@@ -32,6 +32,33 @@ val scheme_none_with_analysis : unit -> scheme
 (** No hardware, but constant-base static disambiguation (related
     work [13]): the measure of how far software-only analysis gets. *)
 
+type cache
+(** A translation cache that outlives one {!run}: the serve subsystem
+    keeps one per tenant shard and threads it through successive driver
+    runs, so a tenant's hot regions stay translated across requests.
+    The cached entry type (translation + re-optimization state) is
+    private to the driver.  A cache must not be shared by two
+    {e concurrent} runs — the serve layer guarantees this by keying
+    shards per worker domain. *)
+
+val make_cache : ?capacity:int -> policy:Tcache.Policy.t -> unit -> cache
+(** As {!Tcache.Store.create}: [capacity] in scheduled-region
+    instructions, bounding this shard's footprint (the per-tenant
+    eviction budget). *)
+
+val cache_telemetry : cache -> Tcache.Telemetry.t
+(** Whole-life telemetry of the cache (a run's {!Stats.t} only folds in
+    the delta accumulated during that run). *)
+
+val cache_invalidate : cache -> Ir.Instr.label -> unit
+(** Drop one label's translation, as cross-shard invalidation of
+    self-modifying guest code requires.  Must not race a run using this
+    cache. *)
+
+val cache_flush : cache -> unit
+val cache_length : cache -> int
+val cache_resident_instrs : cache -> int
+
 type outcome =
   | Completed  (** the guest program ran to halt *)
   | Fuel_exhausted
@@ -75,6 +102,7 @@ val run :
   ?unroll:int ->
   ?tcache_policy:Tcache.Policy.t ->
   ?tcache_capacity:int ->
+  ?tcache:cache ->
   ?watchdog:int ->
   ?hooks:hooks ->
   ?pipeline:Sched.Pipeline.t ->
@@ -109,7 +137,13 @@ val run :
     [Unbounded], which reproduces the unbounded-cache behavior cycle
     for cycle) and [tcache_capacity] (scheduled-region instructions)
     bound the code cache; evicted regions are re-translated when their
-    entry label turns hot again.  Committed region exits are chained to
+    entry label turns hot again.  [tcache] substitutes a pre-existing
+    {!cache} (e.g. a tenant's shard) for the run-private store — the
+    policy/capacity arguments are then ignored, cached translations
+    and their re-optimization state survive across runs of the same
+    program, and the run's stats fold in only the telemetry delta
+    accumulated during this run.  Degradation (watchdog and verifier
+    blacklists) remains run-local even with a shared cache.  Committed region exits are chained to
     resident translations so repeat dispatches skip the cache lookup;
     the cache's telemetry is folded into the result's [stats].
 

@@ -1,0 +1,91 @@
+(* Exact quantiles over a growing sample set.
+
+   Samples land in a doubling float array; queries sort a copy on
+   demand and cache the sorted view until the next [add].  At service
+   scale (thousands of requests per bench point) exactness is cheaper
+   than a sketch and keeps every report deterministic. *)
+
+type t = {
+  mutable samples : float array;
+  mutable len : int;
+  mutable sorted : float array option;  (* cache, invalidated by add *)
+  mutable sum : float;
+}
+
+let create () =
+  { samples = Array.make 64 0.0; len = 0; sorted = None; sum = 0.0 }
+
+let add t x =
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end;
+  t.samples.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sum <- t.sum +. x;
+  t.sorted <- None
+
+let count t = t.len
+let total t = t.sum
+let mean t = if t.len = 0 then 0.0 else t.sum /. float_of_int t.len
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.sub t.samples 0 t.len in
+    Array.sort Float.compare a;
+    t.sorted <- Some a;
+    a
+
+(* Nearest-rank: the smallest sample with at least [q * n] samples at
+   or below it.  p 0.0 is the minimum, p 1.0 the maximum. *)
+let percentile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Percentiles.percentile: q not in [0,1]";
+  if t.len = 0 then 0.0
+  else begin
+    let a = sorted t in
+    let rank = int_of_float (ceil (q *. float_of_int t.len)) in
+    a.(max 0 (min (t.len - 1) (rank - 1)))
+  end
+
+let min_value t = if t.len = 0 then 0.0 else (sorted t).(0)
+let max_value t = if t.len = 0 then 0.0 else (sorted t).(t.len - 1)
+
+let merge ~into t =
+  for i = 0 to t.len - 1 do
+    add into t.samples.(i)
+  done
+
+type summary = {
+  n : int;
+  mean_v : float;
+  min_v : float;
+  max_v : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summary t =
+  {
+    n = count t;
+    mean_v = mean t;
+    min_v = min_value t;
+    max_v = max_value t;
+    p50 = percentile t 0.50;
+    p95 = percentile t 0.95;
+    p99 = percentile t 0.99;
+  }
+
+let summary_json ~unit s =
+  Printf.sprintf
+    "{\"count\":%d,\"mean_%s\":%.6f,\"min_%s\":%.6f,\"max_%s\":%.6f,\
+     \"p50_%s\":%.6f,\"p95_%s\":%.6f,\"p99_%s\":%.6f}"
+    s.n unit s.mean_v unit s.min_v unit s.max_v unit s.p50 unit s.p95 unit
+    s.p99
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4f p50=%.4f p95=%.4f p99=%.4f max=%.4f" s.n
+    s.mean_v s.p50 s.p95 s.p99 s.max_v

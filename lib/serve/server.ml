@@ -1,0 +1,461 @@
+(* The translation service: accept requests, admit or reject, batch,
+   run on the domain pool, record latency.
+
+   One request = one full dynamic-optimization run (interpret, profile,
+   translate, cache, execute) of one guest program under one scheme.
+   Admission is a single bounded count of accepted-but-unfinished
+   requests; everything past the bound is rejected at submit time with
+   no queue entry, which is the backpressure signal.  Accepted requests
+   buffer into per-tenant batches of [cfg.batch] and each full batch is
+   dispatched to the pool as one job, running its requests back to back
+   on one worker (amortizing dispatch overhead and giving consecutive
+   same-tenant requests shard affinity for free).
+
+   Latency is recorded per request in four slices, all through
+   [Runtime.Percentiles]: queue wait (submit -> worker pickup), service
+   (the run itself), and the translate/execute split of service, where
+   translate comes from the run's [Runtime.Stats.translate] profile. *)
+
+type fault_spec = {
+  fault_seed : int;
+  fault_rate : float;
+}
+
+type config = {
+  domains : int;
+  queue_limit : int;
+  batch : int;
+  shard_policy : Tcache.Policy.t;
+  tenant_budget : int option;
+}
+
+let default_config =
+  {
+    domains = 2;
+    queue_limit = 64;
+    batch = 1;
+    shard_policy = Tcache.Policy.Lru;
+    tenant_budget = None;
+  }
+
+type request = {
+  tenant : string;
+  job : Exec.Matrix.job;
+  shared_cache : bool;
+  fault : fault_spec option;
+}
+
+type reply = {
+  request : request;
+  result : (Runtime.Driver.result, exn) Stdlib.result;
+  queue_wait_s : float;
+  service_s : float;
+  translate_s : float;
+  execute_s : float;
+  worker : int;
+  injected : int;
+}
+
+type ticket = {
+  tm : Mutex.t;
+  tc : Condition.t;
+  mutable reply : reply option;
+}
+
+type pending = {
+  p_request : request;
+  p_ticket : ticket;
+  p_submitted : float;
+  p_rid : int;  (* submission sequence number, also the per-request
+                   fault-seed offset *)
+}
+
+type t = {
+  cfg : config;
+  pool : Exec.Pool.t;
+  shards : Runtime.Driver.cache Shards.t;
+  inflight : int Atomic.t;  (* accepted and not yet finished *)
+  m : Mutex.t;  (* guards everything below *)
+  buffers : (string, pending Queue.t) Hashtbl.t;  (* per-tenant batches *)
+  mutable next_rid : int;
+  mutable closed : bool;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable injected_faults : int;
+  lat_queue : Runtime.Percentiles.t;
+  lat_service : Runtime.Percentiles.t;
+  lat_translate : Runtime.Percentiles.t;
+  lat_execute : Runtime.Percentiles.t;
+  lat_total : Runtime.Percentiles.t;
+}
+
+let create ?(config = default_config) () =
+  if config.queue_limit < 1 then
+    invalid_arg "Serve.Server.create: queue_limit < 1";
+  if config.batch < 1 then invalid_arg "Serve.Server.create: batch < 1";
+  {
+    cfg = config;
+    pool = Exec.Pool.create ~domains:config.domains ();
+    shards =
+      Shards.create ?tenant_budget:config.tenant_budget
+        ~ops:
+          {
+            Shards.make =
+              (fun ~capacity ->
+                Runtime.Driver.make_cache ?capacity
+                  ~policy:config.shard_policy ());
+            invalidate = Runtime.Driver.cache_invalidate;
+            flush = Runtime.Driver.cache_flush;
+            telemetry = Runtime.Driver.cache_telemetry;
+          }
+        ();
+    inflight = Atomic.make 0;
+    m = Mutex.create ();
+    buffers = Hashtbl.create 8;
+    next_rid = 0;
+    closed = false;
+    submitted = 0;
+    completed = 0;
+    rejected = 0;
+    errors = 0;
+    injected_faults = 0;
+    lat_queue = Runtime.Percentiles.create ();
+    lat_service = Runtime.Percentiles.create ();
+    lat_translate = Runtime.Percentiles.create ();
+    lat_execute = Runtime.Percentiles.create ();
+    lat_total = Runtime.Percentiles.create ();
+  }
+
+(* Translations are specific to (program, scheme, unroll, ...) — all of
+   which [job.label] names for matrix-built jobs — so the shard
+   partition key must include it, or two programs sharing a guest
+   label ("init") would hit each other's translations. *)
+let shard_key rq = rq.tenant ^ "|" ^ rq.job.Exec.Matrix.label
+
+(* One request, on worker [worker].  The no-fault fresh-cache path runs
+   the exact batch-mode job function, which is what makes the matrix
+   client bit-identical to [Exec.Matrix.run_matrix]; the other paths
+   build the driver call directly so they can thread the shard and the
+   per-request fault plan. *)
+let run_one t ~worker (p : pending) =
+  let rq = p.p_request in
+  let j = rq.job in
+  match (rq.fault, rq.shared_cache) with
+  | None, false ->
+    let o = Exec.Matrix.run_job j in
+    (o.Exec.Matrix.result, o.Exec.Matrix.wall_seconds, 0)
+  | fault, shared ->
+    let config =
+      match j.Exec.Matrix.config with
+      | Some c -> c
+      | None -> Smarq.config_for j.Exec.Matrix.scheme
+    in
+    let scheme = Smarq.Scheme.to_driver j.Exec.Matrix.scheme in
+    let plan =
+      Option.map
+        (fun f ->
+          (* seed + rid: each request replays its own deterministic
+             campaign, fixed by the submission sequence *)
+          Verify.Fault.plan ~seed:(f.fault_seed + p.p_rid) ~rate:f.fault_rate
+            ())
+        fault
+    in
+    let scheme =
+      match plan with
+      | None -> scheme
+      | Some plan ->
+        {
+          scheme with
+          Runtime.Driver.detector =
+            Verify.Fault.wrap plan scheme.Runtime.Driver.detector;
+        }
+    in
+    let hooks = Option.map Verify.Fault.hooks plan in
+    let program = j.Exec.Matrix.program () in
+    let t0 = Unix.gettimeofday () in
+    let result =
+      if shared then
+        let tcache = Shards.shard t.shards ~tenant:(shard_key rq) ~worker in
+        Runtime.Driver.run ~config ~fuel:j.Exec.Matrix.fuel
+          ~unroll:j.Exec.Matrix.unroll ~tcache ?hooks
+          ~verify:j.Exec.Matrix.verify ~scheme program
+      else
+        Runtime.Driver.run ~config ~fuel:j.Exec.Matrix.fuel
+          ~unroll:j.Exec.Matrix.unroll
+          ~tcache_policy:j.Exec.Matrix.tcache_policy
+          ?tcache_capacity:j.Exec.Matrix.tcache_capacity ?hooks
+          ~verify:j.Exec.Matrix.verify ~scheme program
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let injected =
+      match plan with Some p -> Verify.Fault.total_injected p | None -> 0
+    in
+    (result, wall, injected)
+
+let exec_one t ~worker (p : pending) =
+  let started = Unix.gettimeofday () in
+  let queue_wait_s = max 0.0 (started -. p.p_submitted) in
+  let outcome =
+    try
+      let result, wall, injected = run_one t ~worker p in
+      Ok (result, wall, injected)
+    with e -> Error e
+  in
+  let reply =
+    match outcome with
+    | Ok (result, wall, injected) ->
+      let translate_s =
+        Runtime.Profile.total result.Runtime.Driver.stats.Runtime.Stats.translate
+      in
+      {
+        request = p.p_request;
+        result = Ok result;
+        queue_wait_s;
+        service_s = wall;
+        translate_s;
+        execute_s = max 0.0 (wall -. translate_s);
+        worker;
+        injected;
+      }
+    | Error e ->
+      {
+        request = p.p_request;
+        result = Error e;
+        queue_wait_s;
+        service_s = Unix.gettimeofday () -. started;
+        translate_s = 0.0;
+        execute_s = 0.0;
+        worker;
+        injected = 0;
+      }
+  in
+  Mutex.lock t.m;
+  (match reply.result with
+  | Ok _ -> t.completed <- t.completed + 1
+  | Error _ -> t.errors <- t.errors + 1);
+  t.injected_faults <- t.injected_faults + reply.injected;
+  Runtime.Percentiles.add t.lat_queue reply.queue_wait_s;
+  Runtime.Percentiles.add t.lat_service reply.service_s;
+  Runtime.Percentiles.add t.lat_translate reply.translate_s;
+  Runtime.Percentiles.add t.lat_execute reply.execute_s;
+  Runtime.Percentiles.add t.lat_total (reply.queue_wait_s +. reply.service_s);
+  Mutex.unlock t.m;
+  Atomic.decr t.inflight;
+  Mutex.lock p.p_ticket.tm;
+  p.p_ticket.reply <- Some reply;
+  Condition.broadcast p.p_ticket.tc;
+  Mutex.unlock p.p_ticket.tm
+
+let dispatch t batch =
+  Exec.Pool.submit t.pool (fun worker ->
+      List.iter (exec_one t ~worker) batch)
+
+(* callers hold t.m *)
+let drain_buffer t tenant q =
+  if not (Queue.is_empty q) then begin
+    let batch = List.of_seq (Queue.to_seq q) in
+    Queue.clear q;
+    Hashtbl.remove t.buffers tenant;
+    dispatch t batch
+  end
+
+let flush t =
+  Mutex.lock t.m;
+  let tenants =
+    Hashtbl.fold (fun tenant q acc -> (tenant, q) :: acc) t.buffers []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter (fun (tenant, q) -> drain_buffer t tenant q) tenants;
+  Mutex.unlock t.m
+
+let submit t request =
+  let n = Atomic.fetch_and_add t.inflight 1 in
+  if n >= t.cfg.queue_limit then begin
+    (* over the admission bound: reject with no queue entry — the
+       backpressure half of admission control *)
+    Atomic.decr t.inflight;
+    Mutex.lock t.m;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      invalid_arg "Serve.Server.submit: server is shut down"
+    end;
+    t.rejected <- t.rejected + 1;
+    Mutex.unlock t.m;
+    `Rejected
+  end
+  else begin
+    Mutex.lock t.m;
+    if t.closed then begin
+      Atomic.decr t.inflight;
+      Mutex.unlock t.m;
+      invalid_arg "Serve.Server.submit: server is shut down"
+    end;
+    let ticket = { tm = Mutex.create (); tc = Condition.create (); reply = None } in
+    let p =
+      {
+        p_request = request;
+        p_ticket = ticket;
+        p_submitted = Unix.gettimeofday ();
+        p_rid = t.next_rid;
+      }
+    in
+    t.next_rid <- t.next_rid + 1;
+    t.submitted <- t.submitted + 1;
+    let q =
+      match Hashtbl.find_opt t.buffers request.tenant with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.buffers request.tenant q;
+        q
+    in
+    Queue.push p q;
+    if Queue.length q >= t.cfg.batch then drain_buffer t request.tenant q;
+    Mutex.unlock t.m;
+    `Accepted ticket
+  end
+
+let await ticket =
+  Mutex.lock ticket.tm;
+  let rec wait () =
+    match ticket.reply with
+    | Some r ->
+      Mutex.unlock ticket.tm;
+      r
+    | None ->
+      Condition.wait ticket.tc ticket.tm;
+      wait ()
+  in
+  wait ()
+
+let invalidate t label = Shards.invalidate t.shards label
+let shards_telemetry ?tenant t = Shards.telemetry ?tenant t.shards
+let shard_count t = Shards.shard_count t.shards
+let inflight t = Atomic.get t.inflight
+
+let shutdown t =
+  Mutex.lock t.m;
+  let already = t.closed in
+  t.closed <- true;
+  if not already then begin
+    (* dispatch the partial batches so shutdown drains them too *)
+    let tenants =
+      Hashtbl.fold (fun tenant q acc -> (tenant, q) :: acc) t.buffers []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    List.iter (fun (tenant, q) -> drain_buffer t tenant q) tenants
+  end;
+  Mutex.unlock t.m;
+  (* idempotent and drains in-flight work; see Exec.Pool *)
+  Exec.Pool.shutdown t.pool
+
+(* The matrix as a service client: every job becomes one fresh-cache
+   no-fault request (so the worker executes [Exec.Matrix.run_job]
+   verbatim), the queue bound admits all of them, and the outcomes are
+   awaited in job-list order — the same semantics as
+   [Exec.Matrix.run_matrix], bit-identical modulo wall clocks. *)
+let run_matrix ?domains jobs =
+  let domains =
+    match domains with Some d -> d | None -> Exec.Pool.default_domains ()
+  in
+  let config =
+    {
+      default_config with
+      domains;
+      queue_limit = max 1 (List.length jobs);
+      batch = 1;
+    }
+  in
+  let t = create ~config () in
+  let tickets =
+    List.map
+      (fun job ->
+        match
+          submit t { tenant = "matrix"; job; shared_cache = false; fault = None }
+        with
+        | `Accepted ticket -> ticket
+        | `Rejected ->
+          (* unreachable: queue_limit covers the whole job list *)
+          shutdown t;
+          invalid_arg "Serve.Server.run_matrix: rejected"
+      )
+      jobs
+  in
+  let replies = List.map await tickets in
+  shutdown t;
+  List.map
+    (fun r ->
+      match r.result with
+      | Ok result ->
+        {
+          Exec.Matrix.job = r.request.job;
+          result;
+          wall_seconds = r.service_s;
+        }
+      | Error e -> raise e)
+    replies
+
+type report = {
+  submitted : int;
+  completed : int;
+  rejected : int;
+  errors : int;
+  injected_faults : int;
+  sim_seconds : float;  (* sum of per-request service time *)
+  queue_wait : Runtime.Percentiles.summary;
+  service : Runtime.Percentiles.summary;
+  translate : Runtime.Percentiles.summary;
+  execute : Runtime.Percentiles.summary;
+  total : Runtime.Percentiles.summary;
+}
+
+let report_json (r : report) =
+  Printf.sprintf
+    "{\"submitted\":%d,\"completed\":%d,\"rejected\":%d,\"errors\":%d,\
+     \"injected_faults\":%d,\"sim_seconds\":%.6f,\"queue_wait\":%s,\
+     \"service\":%s,\"translate\":%s,\"execute\":%s,\"total\":%s}"
+    r.submitted r.completed r.rejected r.errors r.injected_faults r.sim_seconds
+    (Runtime.Percentiles.summary_json ~unit:"s" r.queue_wait)
+    (Runtime.Percentiles.summary_json ~unit:"s" r.service)
+    (Runtime.Percentiles.summary_json ~unit:"s" r.translate)
+    (Runtime.Percentiles.summary_json ~unit:"s" r.execute)
+    (Runtime.Percentiles.summary_json ~unit:"s" r.total)
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "@[<v>requests: %d accepted, %d completed, %d rejected, %d errors%s@,"
+    r.submitted r.completed r.rejected r.errors
+    (if r.injected_faults > 0 then
+       Printf.sprintf " (%d faults injected)" r.injected_faults
+     else "");
+  Format.fprintf ppf "queue wait: %a@," Runtime.Percentiles.pp_summary
+    r.queue_wait;
+  Format.fprintf ppf "service:    %a@," Runtime.Percentiles.pp_summary
+    r.service;
+  Format.fprintf ppf "translate:  %a@," Runtime.Percentiles.pp_summary
+    r.translate;
+  Format.fprintf ppf "execute:    %a@," Runtime.Percentiles.pp_summary
+    r.execute;
+  Format.fprintf ppf "total:      %a@]" Runtime.Percentiles.pp_summary r.total
+
+let report t =
+  Mutex.lock t.m;
+  let r =
+    {
+      submitted = t.submitted;
+      completed = t.completed;
+      rejected = t.rejected;
+      errors = t.errors;
+      injected_faults = t.injected_faults;
+      sim_seconds = Runtime.Percentiles.total t.lat_service;
+      queue_wait = Runtime.Percentiles.summary t.lat_queue;
+      service = Runtime.Percentiles.summary t.lat_service;
+      translate = Runtime.Percentiles.summary t.lat_translate;
+      execute = Runtime.Percentiles.summary t.lat_execute;
+      total = Runtime.Percentiles.summary t.lat_total;
+    }
+  in
+  Mutex.unlock t.m;
+  r

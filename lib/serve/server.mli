@@ -1,0 +1,132 @@
+(** Translation-as-a-service: many guest programs, one SMARQ runtime.
+
+    A server owns a long-running {!Exec.Pool} of worker domains and a
+    {!Shards} partition of translation caches.  Clients {!submit}
+    requests — each one full dynamic-optimization run of one guest
+    program under one scheme, on behalf of a tenant — and {!await} the
+    reply on the returned ticket.
+
+    {b Admission control}: at most [queue_limit] requests may be
+    accepted-but-unfinished at once; past that, {!submit} returns
+    [`Rejected] immediately (no queue entry, no blocking), which is the
+    backpressure signal an open-loop client must observe.  Rejections
+    are counted separately from errors in the {!report}.
+
+    {b Batching}: accepted requests buffer per tenant and dispatch to
+    the pool in groups of [batch] (default 1 = no batching); a partial
+    batch is dispatched by {!flush} or {!shutdown}.  A client that
+    blocks awaiting a ticket must {!flush} first or the partial batch
+    deadlocks against it.
+
+    {b Caching}: a request with [shared_cache = true] runs against the
+    tenant's per-worker shard ({!Shards}), so its hot regions stay
+    translated across requests; [shared_cache = false] gives the
+    run a private cache, reproducing batch-mode behavior exactly.
+
+    {b Fault injection}: a request carrying a {!fault_spec} replays the
+    PR-3 fault campaign [(seed + rid, rate)] where [rid] is the
+    request's submission sequence number — per-request deterministic,
+    and degradation stays local to that request's run (tenant-local by
+    construction; see [Runtime.Driver.run]). *)
+
+type fault_spec = {
+  fault_seed : int;  (** base seed; each request adds its sequence number *)
+  fault_rate : float;
+}
+
+type config = {
+  domains : int;  (** worker domains in the pool *)
+  queue_limit : int;  (** max accepted-but-unfinished requests *)
+  batch : int;  (** requests per pool dispatch, per tenant *)
+  shard_policy : Tcache.Policy.t;  (** eviction policy of every shard *)
+  tenant_budget : int option;
+      (** per-shard capacity (scheduled-region instructions): the
+          per-tenant eviction budget.  [None] = unbounded. *)
+}
+
+val default_config : config
+(** 2 domains, queue limit 64, batch 1, LRU shards, unbounded budget. *)
+
+type request = {
+  tenant : string;
+  job : Exec.Matrix.job;
+  shared_cache : bool;
+  fault : fault_spec option;
+}
+
+type reply = {
+  request : request;
+  result : (Runtime.Driver.result, exn) Stdlib.result;
+      (** [Error] carries the exception the run raised; admission
+          rejections never produce a reply at all. *)
+  queue_wait_s : float;  (** submit to worker pickup *)
+  service_s : float;  (** the run itself *)
+  translate_s : float;  (** translation share of service *)
+  execute_s : float;  (** [service_s - translate_s] *)
+  worker : int;  (** which worker domain ran it *)
+  injected : int;  (** faults injected by this request's plan *)
+}
+
+type ticket
+type t
+
+val create : ?config:config -> unit -> t
+(** Raises [Invalid_argument] on [queue_limit < 1] or [batch < 1]. *)
+
+val submit : t -> request -> [ `Accepted of ticket | `Rejected ]
+(** Never blocks.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val flush : t -> unit
+(** Dispatch every partial per-tenant batch now. *)
+
+val await : ticket -> reply
+(** Block until the request finishes.  Remember to {!flush} first if
+    batching is on. *)
+
+val shutdown : t -> unit
+(** Dispatch partial batches, drain every accepted request, join the
+    pool.  Idempotent; concurrent callers all block until the single
+    drain completes. *)
+
+val invalidate : t -> string -> unit
+(** Cross-shard invalidation of a guest label (self-modifying-code
+    shootdown).  Call while no request is running. *)
+
+val shards_telemetry : ?tenant:string -> t -> Tcache.Telemetry.t
+(** Aggregate shard telemetry, optionally for one shard key (note shard
+    tenants are keyed ["tenant|job-label"]). *)
+
+val shard_count : t -> int
+
+val inflight : t -> int
+(** Accepted-but-unfinished requests right now. *)
+
+val run_matrix : ?domains:int -> Exec.Matrix.job list -> Exec.Matrix.outcome list
+(** {!Exec.Matrix.run_matrix} as a service client: one fresh-cache
+    no-fault request per job on a private server, outcomes in job-list
+    order, first job exception re-raised.  Results are bit-identical to
+    the batch path because workers execute the same
+    {!Exec.Matrix.run_job} unit. *)
+
+type report = {
+  submitted : int;  (** accepted requests *)
+  completed : int;  (** replies with [Ok] *)
+  rejected : int;  (** admission rejections (not errors) *)
+  errors : int;  (** replies with [Error] *)
+  injected_faults : int;
+  sim_seconds : float;  (** sum of per-request service time *)
+  queue_wait : Runtime.Percentiles.summary;
+  service : Runtime.Percentiles.summary;
+  translate : Runtime.Percentiles.summary;
+  execute : Runtime.Percentiles.summary;
+  total : Runtime.Percentiles.summary;  (** queue wait + service *)
+}
+
+val report : t -> report
+(** A consistent snapshot of the counters and latency summaries. *)
+
+val report_json : report -> string
+(** One JSON object (counters plus the five latency summaries, each
+    through {!Runtime.Percentiles.summary_json}). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -27,6 +27,50 @@ let create () =
     peak_resident_instrs = 0;
   }
 
+let snapshot t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    insertions = t.insertions;
+    evictions = t.evictions;
+    flushes = t.flushes;
+    invalidations = t.invalidations;
+    rejections = t.rejections;
+    chains_installed = t.chains_installed;
+    chains_broken = t.chains_broken;
+    chain_follows = t.chain_follows;
+    peak_resident_instrs = t.peak_resident_instrs;
+  }
+
+let delta ~since t =
+  {
+    hits = t.hits - since.hits;
+    misses = t.misses - since.misses;
+    insertions = t.insertions - since.insertions;
+    evictions = t.evictions - since.evictions;
+    flushes = t.flushes - since.flushes;
+    invalidations = t.invalidations - since.invalidations;
+    rejections = t.rejections - since.rejections;
+    chains_installed = t.chains_installed - since.chains_installed;
+    chains_broken = t.chains_broken - since.chains_broken;
+    chain_follows = t.chain_follows - since.chain_follows;
+    peak_resident_instrs = t.peak_resident_instrs;
+  }
+
+let add ~into t =
+  into.hits <- into.hits + t.hits;
+  into.misses <- into.misses + t.misses;
+  into.insertions <- into.insertions + t.insertions;
+  into.evictions <- into.evictions + t.evictions;
+  into.flushes <- into.flushes + t.flushes;
+  into.invalidations <- into.invalidations + t.invalidations;
+  into.rejections <- into.rejections + t.rejections;
+  into.chains_installed <- into.chains_installed + t.chains_installed;
+  into.chains_broken <- into.chains_broken + t.chains_broken;
+  into.chain_follows <- into.chain_follows + t.chain_follows;
+  into.peak_resident_instrs <-
+    max into.peak_resident_instrs t.peak_resident_instrs
+
 let fields t =
   [
     ("hits", t.hits);

@@ -20,6 +20,21 @@ type t = {
 
 val create : unit -> t
 
+val snapshot : t -> t
+(** An independent copy — freeze a point in time so a later {!delta}
+    can attribute activity to one window (e.g. one driver run over a
+    shared, long-lived cache). *)
+
+val delta : since:t -> t -> t
+(** [delta ~since now] is the activity between the [since] snapshot and
+    [now]: every counter subtracted.  [peak_resident_instrs] is not a
+    counter and carries [now]'s value (the high-water mark is global to
+    the cache's life). *)
+
+val add : into:t -> t -> unit
+(** Fold [t] into [into]: counters add, the peak takes the max — the
+    aggregation used when summing shard telemetries. *)
+
 val fields : t -> (string * int) list
 (** Stable (name, value) pairs, for JSON or tabular emission. *)
 
