@@ -661,11 +661,13 @@ let tcache_exp ~domains =
      skipped the cache lookup entirely.\n"
     loops
 
-(* ---- Translate throughput: the O(n log n) pipeline vs the seed
-   reference pipeline on the kernel suite at high unroll (large
-   regions, where the quadratic passes hurt).  Regions and schedules
-   are bit-identical between the two; only translation time differs.
-   Writes BENCH_TRANSLATE.json at the repo root. ---- *)
+(* ---- Translate throughput: the arena fast pipeline vs the seed
+   reference pipeline, plus the cores-vs-throughput curve of the
+   parallel replay path.  The suite is run once under the driver with
+   request capture; every measurement below replays the same captured
+   batch, so all sides translate exactly the same regions and the
+   artifacts are asserted bit-identical across pipelines and job
+   counts.  Writes BENCH_TRANSLATE.json at the repo root. ---- *)
 
 let translate_out_path =
   match Sys.getenv_opt "BENCH_TRANSLATE" with
@@ -673,7 +675,7 @@ let translate_out_path =
   | None -> "BENCH_TRANSLATE.json"
 
 let translate_exp ~domains:_ =
-  hr "Translate throughput: fast vs reference pipeline";
+  hr "Translate throughput: fast vs reference pipeline, parallel replay";
   let unroll =
     match Sys.getenv_opt "BENCH_TRANSLATE_UNROLL" with
     | Some s -> (try max 8 (int_of_string (String.trim s)) with _ -> 8)
@@ -685,29 +687,74 @@ let translate_exp ~domains:_ =
     | None -> 3
   in
   let scheme = Smarq.Scheme.Smarq 64 in
-  let run_suite pipeline =
-    let acc = Runtime.Profile.create () in
-    for _ = 1 to reps do
-      List.iter
-        (fun (b : Workload.Specfp.bench) ->
-          let program = Workload.Specfp.program ~scale:1 b in
-          let r =
-            Smarq.run_program ~unroll ~pipeline ~verify:bench_verify ~scheme
-              program
-          in
-          incr jobs_this_experiment;
-          sim_seconds_this_experiment :=
-            !sim_seconds_this_experiment
-            +. r.Runtime.Driver.stats.Runtime.Stats.wall_seconds;
-          note_fault_stats r.Runtime.Driver.stats;
-          Runtime.Profile.accumulate ~into:acc
-            r.Runtime.Driver.stats.Runtime.Stats.translate)
-        Workload.Specfp.suite
-    done;
-    acc
+  (* capture once: the driver runs (and executes) each benchmark while
+     recording every optimize request it performs *)
+  let captured =
+    List.map
+      (fun (b : Workload.Specfp.bench) ->
+        let r, cfg, reqs =
+          Exec.Translate.capture_program ~unroll ~verify:bench_verify ~scheme
+            (Workload.Specfp.program ~scale:1 b)
+        in
+        incr jobs_this_experiment;
+        sim_seconds_this_experiment :=
+          !sim_seconds_this_experiment
+          +. r.Runtime.Driver.stats.Runtime.Stats.wall_seconds;
+        note_fault_stats r.Runtime.Driver.stats;
+        (cfg, reqs))
+      Workload.Specfp.suite
   in
-  let fast = run_suite Sched.Pipeline.Fast in
-  let slow = run_suite Sched.Pipeline.Reference in
+  (* one persistent pool serves every parallel point and every rep *)
+  let recommended = Exec.Pool.default_domains () in
+  let curve_jobs =
+    List.sort_uniq Int.compare [ 1; 2; 4; recommended ]
+  in
+  let max_jobs = List.fold_left max 1 curve_jobs in
+  let pool =
+    if max_jobs > 1 then Some (Exec.Pool.create ~domains:max_jobs ()) else None
+  in
+  let replay_suite ~pipeline ~jobs =
+    let acc = Runtime.Profile.create () in
+    let wall = ref 0.0 in
+    let artifacts = ref [] in
+    for rep = 1 to reps do
+      List.iter
+        (fun (cfg, reqs) ->
+          let r =
+            if jobs = 1 then Exec.Translate.replay ~jobs:1 ~pipeline ~config:cfg reqs
+            else Exec.Translate.replay ?pool ~jobs ~pipeline ~config:cfg reqs
+          in
+          Runtime.Profile.accumulate ~into:acc r.Exec.Translate.profile;
+          wall := !wall +. r.Exec.Translate.wall_seconds;
+          if rep = 1 then
+            artifacts := List.rev_append r.Exec.Translate.artifacts !artifacts)
+        captured
+    done;
+    (acc, !wall, List.rev !artifacts)
+  in
+  let fast, fast_wall, fast_arts =
+    replay_suite ~pipeline:Sched.Pipeline.Fast ~jobs:1
+  in
+  let slow, _, slow_arts =
+    replay_suite ~pipeline:Sched.Pipeline.Reference ~jobs:1
+  in
+  let identical = ref (List.for_all2 Exec.Translate.equal_artifact fast_arts slow_arts) in
+  (* cores-vs-throughput curve: same captured batch, same persistent
+     pool, only the job window changes *)
+  let curve =
+    List.map
+      (fun jobs ->
+        let p, wall, arts = replay_suite ~pipeline:Sched.Pipeline.Fast ~jobs in
+        identical :=
+          !identical && List.for_all2 Exec.Translate.equal_artifact fast_arts arts;
+        let regions_per_s =
+          if wall > 0.0 then float_of_int p.Sched.Profile.regions /. wall
+          else 0.0
+        in
+        (jobs, wall, regions_per_s))
+      curve_jobs
+  in
+  (match pool with Some p -> Exec.Pool.shutdown p | None -> ());
   let row name (p : Runtime.Profile.t) =
     Printf.printf "%-10s %8.3fs %7d regions %8d instrs %10.0f regions/s\n"
       name (Runtime.Profile.total p) p.Sched.Profile.regions
@@ -728,6 +775,22 @@ let translate_exp ~domains:_ =
     (Runtime.Profile.phases fast)
     (Runtime.Profile.phases slow);
   Printf.printf "\ntranslate speedup (reference / fast): %.2fx\n" speedup;
+  let jt1_wall = match curve with (1, w, _) :: _ -> w | _ -> fast_wall in
+  Printf.printf
+    "\nparallel replay (wall clock, %d worker domains recommended here):\n"
+    recommended;
+  List.iter
+    (fun (jobs, wall, rps) ->
+      Printf.printf "  jobs=%-2d %8.3fs wall %10.1f regions/s %6.2fx vs jobs=1\n"
+        jobs wall rps
+        (if wall > 0.0 then jt1_wall /. wall else 0.0))
+    curve;
+  Printf.printf "artifacts %s across pipelines and job counts\n"
+    (if !identical then "bit-identical" else "DIVERGENT");
+  if not !identical then begin
+    prerr_endline "translate: replay DIVERGED — aborting";
+    exit 1
+  end;
   let side (p : Runtime.Profile.t) =
     let fields =
       List.map
@@ -743,12 +806,25 @@ let translate_exp ~domains:_ =
       (Runtime.Profile.regions_per_second p)
       (Runtime.Profile.instrs_per_second p)
   in
+  let parallel_json =
+    List.map
+      (fun (jobs, wall, rps) ->
+        Printf.sprintf
+          "{\"jobs\":%d,\"wall_s\":%.6f,\"regions_per_s\":%.1f,\
+           \"speedup_vs_jobs1\":%.3f}"
+          jobs wall rps
+          (if wall > 0.0 then jt1_wall /. wall else 0.0))
+      curve
+    |> String.concat ","
+  in
   let json =
     Printf.sprintf
       "{\"experiment\":\"translate\",\"suite\":\"specfp-kernels\",\
        \"scheme\":\"%s\",\"unroll\":%d,\"reps\":%d,\
-       \"fast\":%s,\"reference\":%s,\"speedup\":%.3f}"
+       \"fast\":%s,\"reference\":%s,\"speedup\":%.3f,\
+       \"recommended_domains\":%d,\"identical\":%b,\"parallel\":[%s]}"
       (Smarq.Scheme.name scheme) unroll reps (side fast) (side slow) speedup
+      recommended !identical parallel_json
   in
   let oc = open_out translate_out_path in
   output_string oc json;
@@ -756,10 +832,10 @@ let translate_exp ~domains:_ =
   close_out oc;
   Printf.printf "wrote %s\n" translate_out_path;
   Printf.printf
-    "the swept dependence builder, reduced hazard fences and heap\n\
-     scheduler replace the seed's quadratic passes; at unroll >= %d the\n\
-     regions are large enough that the asymptotic gap dominates.\n"
-    unroll
+    "the arena-backed builders and heap scheduler replace the seed's\n\
+     quadratic, allocation-heavy passes; the parallel rows replay the\n\
+     same captured requests over the persistent domain pool (the curve\n\
+     is only as good as the cores this host offers).\n"
 
 (* ---- Translation service: throughput and latency percentiles under
    load.  A closed loop measures each domain count's sustainable

@@ -19,6 +19,14 @@ let add t i =
 
 let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
 
+let lease ~prev n =
+  let need = bytes_for n in
+  match prev with
+  | Some p when Bytes.length p.bits >= need ->
+    Bytes.fill p.bits 0 need '\000';
+    { n; bits = p.bits }
+  | Some _ | None -> create n
+
 let union_into ~dst src =
   if dst.n <> src.n then invalid_arg "Bitset.union_into: universe mismatch";
   let len = Bytes.length dst.bits in
@@ -64,4 +72,13 @@ module Matrix = struct
            (Char.code (Bytes.unsafe_get m.bits (d0 + b))
            lor Char.code (Bytes.unsafe_get m.bits (s0 + b))))
     done
+
+  let lease ~prev ~rows ~cols =
+    let stride = bytes_for cols in
+    let need = max 1 (rows * stride) in
+    match prev with
+    | Some p when Bytes.length p.bits >= need ->
+      Bytes.fill p.bits 0 need '\000';
+      { cols; stride; bits = p.bits }
+    | Some _ | None -> create ~rows ~cols
 end

@@ -21,6 +21,11 @@ val union_into : dst:t -> t -> unit
 
 val iter : (int -> unit) -> t -> unit
 
+val lease : prev:t option -> int -> t
+(** [lease ~prev n] is an empty set over [0, n) that reuses [prev]'s
+    buffer when it is large enough (clearing the used prefix), else
+    allocates.  [prev] must not be used afterwards. *)
+
 (** A matrix of [rows] bitsets, each over [0, cols), in one allocation.
     Row [i] caches, e.g., the set of body positions reachable from
     position [i]. *)
@@ -33,4 +38,8 @@ module Matrix : sig
 
   val union_rows : m -> dst:int -> src:int -> unit
   (** OR row [src] into row [dst]. *)
+
+  val lease : prev:m option -> rows:int -> cols:int -> m
+  (** Like {!Bitset.lease}: reuse [prev]'s buffer when large enough
+      (clearing the used region), else allocate fresh. *)
 end

@@ -58,6 +58,7 @@ val build :
   alias:May_alias.t ->
   ?eliminated:(elimination * Ir.Instr.t list) list ->
   ?reference:bool ->
+  ?arena:Arena.t ->
   unit ->
   t
 (** [body] is the post-elimination superblock body in original order.
@@ -71,7 +72,10 @@ val build :
     sweep; enumerate cross-bucket pairs output-sensitively).
     [~reference:true] selects the seed O(n{^ 2}) pairwise builder
     instead; both produce the same edge list in the same order, and the
-    test suite checks them against each other. *)
+    test suite checks them against each other.
+
+    [?arena] lends the swept builder reusable scratch buffers (see
+    {!Arena}); the resulting graph never aliases arena storage. *)
 
 val edges : t -> edge list
 
@@ -82,5 +86,28 @@ val edges_into : t -> int -> edge list
 val mem_dep_pairs : t -> (int * int * strength) list
 (** Real dependences as (earlier, later, strength) in original order,
     for the scheduler. *)
+
+(** {2 Allocation-free traversal}
+
+    The iterators walk the flat edge store directly, in the same order
+    the list accessors above materialize; hot consumers (the hazard
+    builder, the alias-register allocators) use these so the per-edge
+    records never exist. *)
+
+val iter_edges :
+  t ->
+  (first:int -> second:int -> kind:kind -> strength:strength -> unit) ->
+  unit
+
+val iter_into :
+  t ->
+  int ->
+  (first:int -> second:int -> kind:kind -> strength:strength -> unit) ->
+  unit
+(** Edges whose [second] is the given id, in [edges_into] order. *)
+
+val iter_mem_deps :
+  t -> (first:int -> second:int -> strength:strength -> unit) -> unit
+(** Real dependences only, in [mem_dep_pairs] order. *)
 
 val pp : Format.formatter -> t -> unit

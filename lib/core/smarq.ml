@@ -77,10 +77,10 @@ let config_for = function
     Vliw.Config.default
 
 let run_program ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity
-    ?pipeline ?verify ~scheme program =
+    ?pipeline ?verify ?capture ~scheme program =
   let cfg = match config with Some c -> c | None -> config_for scheme in
   Runtime.Driver.run ~config:cfg ?fuel ?unroll ?tcache_policy ?tcache_capacity
-    ?pipeline ?verify ~scheme:(Scheme.to_driver scheme) program
+    ?pipeline ?verify ?capture ~scheme:(Scheme.to_driver scheme) program
 
 let run_benchmark ?config ?fuel ?scale ?tcache_policy ?tcache_capacity
     ?pipeline ?verify ~scheme name =

@@ -16,8 +16,15 @@ type t = {
   policy_used : Sched.Policy.t;
 }
 
+type request = {
+  sb : Ir.Superblock.t;
+  policy : Sched.Policy.t;
+  known_alias : (int * int) list;
+  fresh_base : int;
+}
+
 let build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
-    ~pipeline ~profile (sb : Ir.Superblock.t) =
+    ~pipeline ~profile ~arena (sb : Ir.Superblock.t) =
   let module P = Sched.Profile in
   let facts_for body =
     if policy.Sched.Policy.static_disambiguation then
@@ -46,17 +53,17 @@ let build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
         Analysis.Depgraph.build ~body:elim.Elim.body ~alias:alias'
           ~eliminated:elim.Elim.eliminations
           ~reference:(Sched.Pipeline.is_reference pipeline)
-          ())
+          ?arena ())
   in
   let outcome =
     Sched.List_sched.schedule ~sb:sb' ~deps ~policy ~issue_width ~mem_ports
       ~latency ~fresh_id ~extra_assumed:elim.Elim.assumed_no_alias ~pipeline
-      ?profile ()
+      ?profile ?arena ()
   in
   (outcome, elim, deps)
 
 let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
-    ?(known_alias = []) ?(pipeline = Sched.Pipeline.Fast) ?profile sb =
+    ?(known_alias = []) ?(pipeline = Sched.Pipeline.Fast) ?profile ?arena sb =
   let work_units = 2 * Ir.Superblock.instr_count sb in
   let finish ~fell_back ~policy_used
       ( (outcome : Sched.List_sched.outcome),
@@ -85,7 +92,7 @@ let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
   in
   let attempt policy =
     build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
-      ~pipeline ~profile sb
+      ~pipeline ~profile ~arena sb
   in
   let has_elims =
     policy.Sched.Policy.allow_load_load_forward
@@ -125,3 +132,15 @@ let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
     | Sched.List_sched.Unschedulable _ ->
       let none = Sched.Policy.none () in
       finish ~fell_back:true ~policy_used:none (attempt none))
+
+(* Replaying a captured request is bit-identical to the original run by
+   construction: [fresh_base] restores the id counter the driver held
+   when it issued the request, and the ids a translation consumes are a
+   pure function of the superblock and that base (every other input is
+   in the request).  The private ref also makes replay order-free —
+   requests share no mutable state, which is what lets Exec.Translate
+   fan them out across domains. *)
+let run_request ~issue_width ~mem_ports ~latency ?pipeline ?profile ?arena r =
+  optimize ~policy:r.policy ~issue_width ~mem_ports ~latency
+    ~fresh_id:(ref r.fresh_base) ~known_alias:r.known_alias ?pipeline ?profile
+    ?arena r.sb

@@ -45,10 +45,36 @@ val optimize :
   ?known_alias:(int * int) list ->
   ?pipeline:Sched.Pipeline.t ->
   ?profile:Sched.Profile.t ->
+  ?arena:Analysis.Arena.t ->
   Ir.Superblock.t ->
   t
 (** [pipeline] selects the fast (default) or reference translation
     pipeline — both produce bit-identical regions.  [profile], when
     given, accumulates per-phase translation timers and per-region
     instruction counts across every attempt (including fallback
-    rebuilds). *)
+    rebuilds).  [arena] lends the depgraph and hazard builders reusable
+    scratch buffers; one arena serves one sequence of translations and
+    must never be shared between domains. *)
+
+(** A self-contained translation request: everything [optimize] reads,
+    captured at the moment the driver would have translated.  Replaying
+    a request is deterministic and independent of every other request —
+    the basis for parallel translation ({!Exec.Translate}). *)
+type request = {
+  sb : Ir.Superblock.t;
+  policy : Sched.Policy.t;
+  known_alias : (int * int) list;
+  fresh_base : int;  (** driver id counter at capture time *)
+}
+
+val run_request :
+  issue_width:int ->
+  mem_ports:int ->
+  latency:(Ir.Instr.t -> int) ->
+  ?pipeline:Sched.Pipeline.t ->
+  ?profile:Sched.Profile.t ->
+  ?arena:Analysis.Arena.t ->
+  request ->
+  t
+(** Replay a captured request; bit-identical to the optimize call it
+    was captured from. *)

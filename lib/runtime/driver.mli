@@ -107,6 +107,7 @@ val run :
   ?hooks:hooks ->
   ?pipeline:Sched.Pipeline.t ->
   ?verify:Check.Verifier.mode ->
+  ?capture:(Opt.Optimizer.request -> unit) ->
   scheme:scheme ->
   Ir.Program.t ->
   result
@@ -154,4 +155,11 @@ val run :
     fails validation is never executed — its label is degraded to
     interpreter-only execution exactly like a watchdog kill, and the
     verdict is recorded in [Stats.verified_regions],
-    [Stats.rejected_regions] and the per-rule reject histogram. *)
+    [Stats.rejected_regions] and the per-rule reject histogram.
+
+    [capture], when given, is called once per translation the run
+    performs (initial builds, re-optimizations, gave-up rebuilds alike),
+    in execution order, with the exact {!Opt.Optimizer.request} the
+    optimizer received — including the id counter at that moment, so
+    each request replays bit-identically in isolation.  This is the
+    feed for {!Exec.Translate}'s parallel replay. *)

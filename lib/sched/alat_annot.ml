@@ -14,12 +14,11 @@ let annotate ~sb ~deps ~hazards ~issue_order ~ar_count =
       if pos second < pos first then Hashtbl.replace advanced second ())
     Hazards.(hazards.dropped);
   (* forwarding sources: the [second] of an extended dependence *)
-  List.iter
-    (fun (e : Analysis.Depgraph.edge) ->
-      match e.kind with
-      | Analysis.Depgraph.Extended -> Hashtbl.replace advanced e.second ()
-      | Analysis.Depgraph.Real -> ())
-    (Analysis.Depgraph.edges deps);
+  Analysis.Depgraph.iter_edges deps
+    (fun ~first:_ ~second ~kind ~strength:_ ->
+      match kind with
+      | Analysis.Depgraph.Extended -> Hashtbl.replace advanced second ()
+      | Analysis.Depgraph.Real -> ());
   let annots =
     List.filter_map
       (fun (_, (i : Ir.Instr.t)) ->
@@ -60,9 +59,8 @@ let annotate ~sb ~deps ~hazards ~issue_order ~ar_count =
       let pf = pos first and ps = pos second in
       if ps < pf && pf <> max_int then window_overflow ~ps ~pf)
     Hazards.(hazards.dropped);
-  List.iter
-    (fun (e : Analysis.Depgraph.edge) ->
-      let pf = pos e.first and ps = pos e.second in
-      if ps < pf && pf <> max_int then window_overflow ~ps ~pf)
-    (Analysis.Depgraph.edges deps);
+  Analysis.Depgraph.iter_edges deps
+    (fun ~first ~second ~kind:_ ~strength:_ ->
+      let pf = pos first and ps = pos second in
+      if ps < pf && pf <> max_int then window_overflow ~ps ~pf);
   annots

@@ -37,8 +37,12 @@ val build :
   deps:Analysis.Depgraph.t ->
   policy:Policy.t ->
   ?reference:bool ->
+  ?arena:Analysis.Arena.t ->
   unit ->
   t
+(** [?arena] lends the default builder reusable scratch buffers (see
+    {!Analysis.Arena}); the result never aliases arena storage.  The
+    reference builder ignores it. *)
 
 val preds : t -> int -> int list
 val succs : t -> int -> int list

@@ -479,11 +479,11 @@ let materialize ~issued ~annots ~rotations ~amovs ~fresh_id =
       List.rev (Option.value (Hashtbl.find_opt bundles_tbl c) ~default:[]))
 
 let schedule ~sb ~deps ~policy ~issue_width ~mem_ports ~latency ~fresh_id
-    ?(extra_assumed = []) ?(pipeline = Pipeline.Fast) ?profile () =
+    ?(extra_assumed = []) ?(pipeline = Pipeline.Fast) ?profile ?arena () =
   let reference = Pipeline.is_reference pipeline in
   let hazards, heights =
     Profile.time profile Profile.add_hazards (fun () ->
-        let hazards = Hazards.build ~sb ~deps ~policy ~reference () in
+        let hazards = Hazards.build ~sb ~deps ~policy ~reference ?arena () in
         let heights =
           Priority.heights ~body:sb.Ir.Superblock.body ~hazards ~latency
         in

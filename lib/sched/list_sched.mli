@@ -57,6 +57,7 @@ val schedule :
   ?extra_assumed:(int * int) list ->
   ?pipeline:Pipeline.t ->
   ?profile:Profile.t ->
+  ?arena:Analysis.Arena.t ->
   unit ->
   outcome
 (** [extra_assumed] lists speculation assumptions made by earlier
@@ -70,4 +71,5 @@ val schedule :
     over the reduced hazard graph ({!Pipeline.Fast}, default) and the
     seed per-cycle rescan over the unreduced graph
     ({!Pipeline.Reference}); both produce bit-identical regions.
-    [profile] accumulates per-phase translation timers when given. *)
+    [profile] accumulates per-phase translation timers when given;
+    [arena] lends the hazard builder reusable scratch buffers. *)

@@ -6,10 +6,9 @@ exception Mask_overflow of string
    of the pair issues first; the checker issues second. *)
 let check_pairs ~deps ~hazards ~pos =
   let pairs = ref [] in
-  List.iter
-    (fun (e : Analysis.Depgraph.edge) ->
-      let a = e.Analysis.Depgraph.first and b = e.second in
-      match e.kind, e.strength with
+  Analysis.Depgraph.iter_edges deps
+    (fun ~first:a ~second:b ~kind ~strength ->
+      match kind, strength with
       | Analysis.Depgraph.Real, Analysis.Depgraph.Hard ->
         (* order enforced by a hazard edge; never reordered, no check *)
         ()
@@ -26,8 +25,7 @@ let check_pairs ~deps ~hazards ~pos =
            guard — the SMARQ and ALAT annotators already cover
            extended edges of either strength. *)
         if pos a < pos b then pairs := (a, b) :: !pairs
-        else pairs := (b, a) :: !pairs)
-    (Analysis.Depgraph.edges deps);
+        else pairs := (b, a) :: !pairs);
   (* only pairs whose edge was really dropped need checking; realized
      reorderings of dropped edges are already covered above, but a
      non-dropped pair cannot be reordered, so the filter is implicit *)

@@ -81,15 +81,14 @@ let create ~body ~deps ~ar_count ~fresh_id =
     (fun idx (i : Ir.Instr.t) -> ignore (CD.init_t cd i.id idx))
     body;
   let ext_p_unscheduled = Hashtbl.create 16 in
-  List.iter
-    (fun (e : Analysis.Depgraph.edge) ->
-      match e.kind with
+  Analysis.Depgraph.iter_edges deps
+    (fun ~first:_ ~second ~kind ~strength:_ ->
+      match kind with
       | Analysis.Depgraph.Extended ->
         (* at [second]'s scheduling, an unscheduled [first] forces
            P(second); count every potential target *)
-        Hashtbl.replace ext_p_unscheduled e.second ()
-      | Analysis.Depgraph.Real -> ())
-    (Analysis.Depgraph.edges deps);
+        Hashtbl.replace ext_p_unscheduled second ()
+      | Analysis.Depgraph.Real -> ());
   {
     deps;
     ar_count;
@@ -257,9 +256,8 @@ let break_cycle t ~x ~y =
 
 let on_schedule t (instr : Ir.Instr.t) =
   let y = instr.id in
-  List.iter
-    (fun (e : Analysis.Depgraph.edge) ->
-      let x = e.Analysis.Depgraph.first in
+  Analysis.Depgraph.iter_into t.deps y
+    (fun ~first:x ~second:_ ~kind:_ ~strength:_ ->
       if not (is_scheduled t x) then begin
         (* x executes after y although the dependence says the pair
            must be alias-checked: x checks y *)
@@ -282,8 +280,7 @@ let on_schedule t (instr : Ir.Instr.t) =
           | CD.Ok_already | CD.Ok_shifted _ -> add_anti t xh y
           | CD.Cycle _ -> break_cycle t ~x:xh ~y
         end
-      end)
-    (Analysis.Depgraph.edges_into t.deps y);
+      end);
   Hashtbl.replace t.scheduled y ();
   Hashtbl.remove t.ext_p_unscheduled y;
   if has_p t y || has_c t y then allocate_reg t y

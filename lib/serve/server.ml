@@ -330,6 +330,16 @@ let await ticket =
   in
   wait ()
 
+(* Batch translation on the service's own pool: the server owns the
+   long-running worker domains, so parallel replay rides them directly
+   instead of nesting a second pool inside a pool worker. *)
+let translate t ?jobs ?pipeline ~config requests =
+  Mutex.lock t.m;
+  let closed = t.closed in
+  Mutex.unlock t.m;
+  if closed then invalid_arg "Serve.Server.translate: server is shut down";
+  Exec.Translate.replay ~pool:t.pool ?jobs ?pipeline ~config requests
+
 let invalidate t label = Shards.invalidate t.shards label
 let shards_telemetry ?tenant t = Shards.telemetry ?tenant t.shards
 let shard_count t = Shards.shard_count t.shards

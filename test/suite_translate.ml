@@ -195,6 +195,70 @@ let prop_pipelines_bit_identical (seed, loops, iters) =
       Smarq.Scheme.None_static;
     ]
 
+(* Parallel replay: for every scheme, capturing the driver's optimize
+   requests and replaying them at -jt 1, 2 and 4 over the domain pool
+   must yield bit-identical artifacts in submission order, and the
+   merged profile must count the same regions and instructions.  (The
+   timer fields are wall measurements and legitimately differ run to
+   run; the integers and the artifacts may not.) *)
+let all_schemes =
+  [
+    Smarq.Scheme.Smarq 64;
+    Smarq.Scheme.Smarq 16;
+    Smarq.Scheme.Naive_order 64;
+    Smarq.Scheme.Alat;
+    Smarq.Scheme.Efficeon;
+    Smarq.Scheme.None_;
+    Smarq.Scheme.None_static;
+  ]
+
+let prop_parallel_replay_identical (seed, loops, iters) =
+  let program = Workload.Genprog.program ~seed ~n_loops:loops ~iters in
+  let pool = Exec.Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      List.for_all
+        (fun scheme ->
+          let _, cfg, reqs =
+            Exec.Translate.capture_program ~fuel:50_000_000 ~scheme program
+          in
+          let seq = Exec.Translate.replay ~jobs:1 ~config:cfg reqs in
+          List.length seq.Exec.Translate.artifacts = List.length reqs
+          && List.for_all
+               (fun jobs ->
+                 let par =
+                   Exec.Translate.replay ~pool ~jobs ~config:cfg reqs
+                 in
+                 List.for_all2 Exec.Translate.equal_artifact
+                   seq.Exec.Translate.artifacts par.Exec.Translate.artifacts
+                 && par.Exec.Translate.profile.Sched.Profile.regions
+                    = seq.Exec.Translate.profile.Sched.Profile.regions
+                 && par.Exec.Translate.profile.Sched.Profile.instrs
+                    = seq.Exec.Translate.profile.Sched.Profile.instrs)
+               [ 1; 2; 4 ])
+        all_schemes)
+
+(* The captured batch replayed under the reference pipeline must also
+   match a reference driver run's artifacts — capture is a faithful
+   record, not a fast-path-only trick. *)
+let prop_replay_matches_either_pipeline (seed, loops, iters) =
+  let program = Workload.Genprog.program ~seed ~n_loops:loops ~iters in
+  let scheme = Smarq.Scheme.Smarq 64 in
+  let _, cfg, reqs =
+    Exec.Translate.capture_program ~fuel:50_000_000 ~scheme program
+  in
+  let fast =
+    Exec.Translate.replay ~jobs:1 ~pipeline:Sched.Pipeline.Fast ~config:cfg
+      reqs
+  in
+  let slow =
+    Exec.Translate.replay ~jobs:1 ~pipeline:Sched.Pipeline.Reference
+      ~config:cfg reqs
+  in
+  List.for_all2 Exec.Translate.equal_artifact fast.Exec.Translate.artifacts
+    slow.Exec.Translate.artifacts
+
 (* Deterministic spot check of the reduction itself: a WAW edge made
    redundant by a RAW/WAR path must be pruned yet stay enforced. *)
 let test_reduction_prunes_redundant_waw () =
@@ -232,6 +296,10 @@ let suite =
         prop_dropped_normalized;
       qcase ~count:8 "fast and reference pipelines bit-identical" prog_arb
         prop_pipelines_bit_identical;
+      qcase ~count:5 "parallel replay bit-identical at -jt 1/2/4" prog_arb
+        prop_parallel_replay_identical;
+      qcase ~count:5 "replay identical under both pipelines" prog_arb
+        prop_replay_matches_either_pipeline;
       case "transitive reduction prunes redundant WAW"
         test_reduction_prunes_redundant_waw;
     ] )
