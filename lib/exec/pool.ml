@@ -26,8 +26,8 @@ type t = {
   jobs : (int -> unit) Queue.t;
   mutable shutting_down : bool;  (* no new submissions; drain and exit *)
   mutable joined : bool;
-  mutable failed_jobs : int;  (* jobs that raised (a bug in the caller:
-                                 service jobs catch their own errors) *)
+  failed_jobs : int Atomic.t;  (* jobs that raised (a bug in the caller:
+                                  service jobs catch their own errors) *)
   mutable workers : unit Domain.t array;
 }
 
@@ -43,7 +43,7 @@ let create ?domains () =
       jobs = Queue.create ();
       shutting_down = false;
       joined = false;
-      failed_jobs = 0;
+      failed_jobs = Atomic.make 0;
       workers = [||];
     }
   in
@@ -53,11 +53,7 @@ let create ?domains () =
       if not (Queue.is_empty t.jobs) then begin
         let job = Queue.pop t.jobs in
         Mutex.unlock t.m;
-        (try job id
-         with _ ->
-           Mutex.lock t.m;
-           t.failed_jobs <- t.failed_jobs + 1;
-           Mutex.unlock t.m);
+        (try job id with _ -> Atomic.incr t.failed_jobs);
         Mutex.lock t.m;
         loop ()
       end
@@ -73,7 +69,26 @@ let create ?domains () =
   t
 
 let size t = Array.length t.workers
-let failed_jobs t = t.failed_jobs
+let failed_jobs t = Atomic.get t.failed_jobs
+
+type health = {
+  queue_depth : int;
+  failed : int;
+  shutting_down : bool;
+  domains : int;
+}
+
+let health t =
+  Mutex.lock t.m;
+  let queue_depth = Queue.length t.jobs in
+  let shutting_down = t.shutting_down in
+  Mutex.unlock t.m;
+  {
+    queue_depth;
+    failed = Atomic.get t.failed_jobs;
+    shutting_down;
+    domains = Array.length t.workers;
+  }
 
 let submit t job =
   Mutex.lock t.m;

@@ -48,7 +48,19 @@ val submit : t -> (int -> unit) -> unit
 
 val failed_jobs : t -> int
 (** Jobs that raised instead of returning (0 for well-behaved
-    callers). *)
+    callers).  Atomically counted; safe to read from any domain at any
+    time. *)
+
+type health = {
+  queue_depth : int;  (** jobs accepted but not yet picked up *)
+  failed : int;  (** same counter as {!failed_jobs} *)
+  shutting_down : bool;
+  domains : int;
+}
+
+val health : t -> health
+(** A consistent point-in-time snapshot of the pool, safe to take from
+    any domain while workers run.  Used by the soak report. *)
 
 val shutdown : t -> unit
 (** Stop accepting submissions, drain every queued and in-flight job,

@@ -64,6 +64,10 @@ type outcome =
   | Fuel_exhausted
       (** the block budget ran out first; stats and machine hold the
           state accumulated up to that point *)
+  | Deadline_exceeded
+      (** [hooks.deadline] reported an expired budget; like
+          [Fuel_exhausted], stats and machine hold the partial state
+          (with [wall_seconds] set) *)
 
 type result = {
   stats : Stats.t;
@@ -83,12 +87,16 @@ type tcache_event =
     consulted once per dispatched block with its label;
     [is_injected v] classifies a violation as harness-made (counted as
     a spurious rollback); [injected_count] is read once at the end of
-    the run into [Stats.injected_faults].  See [Verify.Fault] for the
-    standard implementation; {!no_hooks} is the inert default. *)
+    the run into [Stats.injected_faults].  [deadline] is consulted once
+    per dispatched block; returning [true] stops the run with the
+    [Deadline_exceeded] outcome, preserving partial stats and machine
+    state.  See [Verify.Fault] for the standard fault implementation;
+    {!no_hooks} is the inert default. *)
 type hooks = {
   before_dispatch : Ir.Instr.label -> tcache_event;
   is_injected : Hw.Detector.violation -> bool;
   injected_count : unit -> int;
+  deadline : unit -> bool;
 }
 
 val no_hooks : hooks

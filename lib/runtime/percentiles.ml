@@ -66,6 +66,7 @@ type summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
 }
 
 let summary t =
@@ -77,15 +78,17 @@ let summary t =
     p50 = percentile t 0.50;
     p95 = percentile t 0.95;
     p99 = percentile t 0.99;
+    p999 = percentile t 0.999;
   }
 
 let summary_json ~unit s =
   Printf.sprintf
     "{\"count\":%d,\"mean_%s\":%.6f,\"min_%s\":%.6f,\"max_%s\":%.6f,\
-     \"p50_%s\":%.6f,\"p95_%s\":%.6f,\"p99_%s\":%.6f}"
+     \"p50_%s\":%.6f,\"p95_%s\":%.6f,\"p99_%s\":%.6f,\"p999_%s\":%.6f}"
     s.n unit s.mean_v unit s.min_v unit s.max_v unit s.p50 unit s.p95 unit
-    s.p99
+    s.p99 unit s.p999
 
 let pp_summary ppf s =
-  Format.fprintf ppf "n=%d mean=%.4f p50=%.4f p95=%.4f p99=%.4f max=%.4f" s.n
-    s.mean_v s.p50 s.p95 s.p99 s.max_v
+  Format.fprintf ppf
+    "n=%d mean=%.4f p50=%.4f p95=%.4f p99=%.4f p99.9=%.4f max=%.4f" s.n
+    s.mean_v s.p50 s.p95 s.p99 s.p999 s.max_v

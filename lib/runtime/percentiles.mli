@@ -1,4 +1,4 @@
-(** Exact sample quantiles (p50/p95/p99) for latency reporting.
+(** Exact sample quantiles (p50/p95/p99/p99.9) for latency reporting.
 
     The one reusable home for percentile math: the serve subsystem and
     the bench harness both summarize request latencies through this
@@ -38,6 +38,7 @@ type summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
 }
 
 val summary : t -> summary

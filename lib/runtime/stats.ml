@@ -5,6 +5,7 @@ type t = {
   mutable optimize_cycles : int;
   mutable schedule_cycles : int;
   mutable instrs_interpreted : int;
+  mutable blocks_dispatched : int;
   mutable region_entries : int;
   mutable region_commits : int;
   mutable side_exits_taken : int;
@@ -57,6 +58,7 @@ let create () =
     optimize_cycles = 0;
     schedule_cycles = 0;
     instrs_interpreted = 0;
+    blocks_dispatched = 0;
     region_entries = 0;
     region_commits = 0;
     side_exits_taken = 0;
@@ -169,6 +171,7 @@ let pp ppf t =
   f "  in regions" t.region_cycles;
   f "  optimizing" t.optimize_cycles;
   f "instrs interpreted" t.instrs_interpreted;
+  f "blocks dispatched" t.blocks_dispatched;
   f "region entries" t.region_entries;
   f "region commits" t.region_commits;
   f "side exits taken" t.side_exits_taken;

@@ -10,6 +10,7 @@ type t = {
   mutable schedule_cycles : int;  (** scheduling share of the above *)
   (* dynamic events *)
   mutable instrs_interpreted : int;
+  mutable blocks_dispatched : int;
   mutable region_entries : int;
   mutable region_commits : int;
   mutable side_exits_taken : int;

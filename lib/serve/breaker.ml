@@ -1,0 +1,147 @@
+(* A count-based circuit breaker: closed / open / half-open.
+
+   Observations (success or failure, where timeouts count as failures)
+   land in a sliding window of the last [window] outcomes.  A full
+   window whose failure fraction reaches [failure_threshold] trips the
+   breaker open; while open, the next [cooldown] admissions are shed to
+   the degraded path, after which one request is admitted as a probe.
+   A successful probe closes the breaker (window cleared); a failed
+   probe re-opens it for another cooldown.
+
+   Everything is counted in events, not wall time, so a deterministic
+   request sequence produces a deterministic transition sequence — the
+   soak harness replays breakers bit-for-bit from its seed.  The
+   structure is NOT internally locked: the server observes each
+   (tenant, scheme) breaker from whichever worker runs that tenant's
+   request and serializes with its own mutex. *)
+
+type config = {
+  window : int;
+  failure_threshold : float;  (* failure fraction in (0,1] that trips *)
+  cooldown : int;  (* admissions shed while open before probing *)
+}
+
+let default_config = { window = 8; failure_threshold = 0.5; cooldown = 4 }
+
+let check_config c =
+  if c.window < 1 then invalid_arg "Serve.Breaker: window < 1";
+  if c.failure_threshold <= 0.0 || c.failure_threshold > 1.0 then
+    invalid_arg "Serve.Breaker: failure_threshold not in (0,1]";
+  if c.cooldown < 1 then invalid_arg "Serve.Breaker: cooldown < 1";
+  c
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type decision = Run | Shed | Probe
+
+type t = {
+  cfg : config;
+  mutable state : state;
+  ring : bool array;  (* true = failure; only the closed state fills it *)
+  mutable ring_len : int;  (* samples held, <= window *)
+  mutable ring_pos : int;  (* next write position *)
+  mutable ring_failures : int;
+  mutable shed_left : int;  (* open state: admissions left to shed *)
+  mutable probing : bool;  (* half-open: probe outstanding *)
+  mutable transitions : int;
+  mutable shed_total : int;
+}
+
+let create ?(config = default_config) () =
+  let cfg = check_config config in
+  {
+    cfg;
+    state = Closed;
+    ring = Array.make cfg.window false;
+    ring_len = 0;
+    ring_pos = 0;
+    ring_failures = 0;
+    shed_left = 0;
+    probing = false;
+    transitions = 0;
+    shed_total = 0;
+  }
+
+let state t = t.state
+let transitions t = t.transitions
+let shed_total t = t.shed_total
+
+let clear_ring t =
+  Array.fill t.ring 0 (Array.length t.ring) false;
+  t.ring_len <- 0;
+  t.ring_pos <- 0;
+  t.ring_failures <- 0
+
+let transition t s =
+  t.state <- s;
+  t.transitions <- t.transitions + 1
+
+let trip_open t =
+  transition t Open;
+  t.shed_left <- t.cfg.cooldown;
+  t.probing <- false;
+  clear_ring t
+
+let admit t =
+  match t.state with
+  | Closed -> Run
+  | Open ->
+    if t.shed_left > 0 then begin
+      t.shed_left <- t.shed_left - 1;
+      t.shed_total <- t.shed_total + 1;
+      Shed
+    end
+    else begin
+      transition t Half_open;
+      t.probing <- true;
+      Probe
+    end
+  | Half_open ->
+    if t.probing then begin
+      (* one probe at a time; everyone else keeps the degraded path *)
+      t.shed_total <- t.shed_total + 1;
+      Shed
+    end
+    else begin
+      t.probing <- true;
+      Probe
+    end
+
+type observation = Success | Failure
+
+(* Record the terminal outcome of an admitted (Run or Probe) request.
+   Shed requests are NOT observed: the degraded path cannot fail, and
+   feeding it back would wedge the window with stale verdicts. *)
+let observe t obs =
+  match t.state with
+  | Closed ->
+    let failed = obs = Failure in
+    if t.ring_len = Array.length t.ring then begin
+      (* evict the oldest sample *)
+      if t.ring.(t.ring_pos) then t.ring_failures <- t.ring_failures - 1
+    end
+    else t.ring_len <- t.ring_len + 1;
+    t.ring.(t.ring_pos) <- failed;
+    if failed then t.ring_failures <- t.ring_failures + 1;
+    t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring;
+    if
+      t.ring_len = Array.length t.ring
+      && float_of_int t.ring_failures
+         >= t.cfg.failure_threshold *. float_of_int t.ring_len
+    then trip_open t
+  | Half_open -> (
+    t.probing <- false;
+    match obs with
+    | Success ->
+      transition t Closed;
+      clear_ring t
+    | Failure -> trip_open t)
+  | Open ->
+    (* a request admitted before the trip finishing late: the verdict
+       predates the open window, drop it *)
+    ()

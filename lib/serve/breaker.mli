@@ -1,0 +1,56 @@
+(** Per-(tenant, scheme) circuit breaker: closed / open / half-open.
+
+    Counted in events rather than wall time so that a deterministic
+    request sequence yields a deterministic transition sequence (the
+    soak harness replays breaker behavior bit-for-bit from a seed).
+    Not internally locked — the owner serializes access (the server
+    holds its mutex around {!admit}/{!observe}). *)
+
+type config = {
+  window : int;  (** sliding outcome window, >= 1 *)
+  failure_threshold : float;
+      (** failure fraction over a {e full} window that trips the
+          breaker, in (0,1] *)
+  cooldown : int;  (** admissions shed while open before probing, >= 1 *)
+}
+
+val default_config : config
+(** window 8, threshold 0.5, cooldown 4. *)
+
+val check_config : config -> config
+(** Validates field ranges; raises [Invalid_argument] otherwise. *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+
+type decision =
+  | Run  (** execute normally *)
+  | Shed  (** skip straight to the degraded path (do not observe) *)
+  | Probe  (** execute normally; this outcome decides recovery *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val state : t -> state
+
+val admit : t -> decision
+(** Ask before executing a request.  Closed always [Run]s; open sheds
+    [cooldown] admissions then transitions to half-open and [Probe]s;
+    half-open sheds everything except the single outstanding probe. *)
+
+type observation = Success | Failure
+(** Timeouts count as [Failure]. *)
+
+val observe : t -> observation -> unit
+(** Record the terminal outcome of an admitted ([Run]/[Probe]) request.
+    Never call for [Shed] requests.  A full closed window at or above
+    the threshold trips open; a half-open probe closes (success,
+    clearing the window) or re-opens (failure). *)
+
+val transitions : t -> int
+(** State changes so far (closed->open, open->half-open,
+    half-open->closed/open). *)
+
+val shed_total : t -> int
+(** Requests diverted to the degraded path by this breaker. *)

@@ -1,0 +1,85 @@
+(* Service-level chaos: a seeded, deterministic fault plan.
+
+   Where PR 3's [Verify.Fault] corrupts the guest (alias violations,
+   tcache storms), this layer attacks the service itself: worker
+   stalls, poisoned requests (a job exception raised before the run),
+   and shard flush storms.  Every decision is a pure function of
+   (plan seed, request id, attempt number) — each draw builds a fresh
+   splitmix stream from the combined key, so decisions are independent
+   of worker scheduling and replay bit-for-bit from the seed no matter
+   how requests interleave across domains. *)
+
+type config = {
+  stall_rate : float;  (* P(worker stalls before the attempt) *)
+  stall_s : float;  (* stall duration; wall-clock only *)
+  poison_rate : float;  (* P(the attempt raises [Poisoned]) *)
+  flush_rate : float;  (* P(the request's own shard is flushed) *)
+}
+
+let default_config =
+  { stall_rate = 0.02; stall_s = 0.002; poison_rate = 0.05; flush_rate = 0.02 }
+
+let check_rate name r =
+  if r < 0.0 || r > 1.0 then
+    invalid_arg (Printf.sprintf "Serve.Chaos: %s not in [0,1]" name)
+
+let check_config c =
+  check_rate "stall_rate" c.stall_rate;
+  check_rate "poison_rate" c.poison_rate;
+  check_rate "flush_rate" c.flush_rate;
+  if c.stall_s < 0.0 then invalid_arg "Serve.Chaos: stall_s < 0";
+  c
+
+type plan = {
+  seed : int;
+  config : config;
+  stalls : int Atomic.t;
+  poisons : int Atomic.t;
+  flushes : int Atomic.t;
+}
+
+let plan ?(config = default_config) ~seed () =
+  {
+    seed;
+    config = check_config config;
+    stalls = Atomic.make 0;
+    poisons = Atomic.make 0;
+    flushes = Atomic.make 0;
+  }
+
+let seed p = p.seed
+
+type event = {
+  stall_s : float;  (* 0.0 = no stall *)
+  poison : bool;
+  flush : bool;
+}
+
+let inert = { stall_s = 0.0; poison = false; flush = false }
+
+exception Poisoned of int
+
+let poison_exn ~rid = Poisoned rid
+
+(* Distinct odd multipliers keep (rid, attempt) keys from colliding for
+   any realistic request count; splitmix64 scrambles the rest. *)
+let draw p ~rid ~attempt =
+  let key = p.seed + (rid * 1_000_003) + (attempt * 7919) in
+  let g = Verify.Prng.create ~seed:key in
+  let c = p.config in
+  let stall = Verify.Prng.float g < c.stall_rate in
+  let poison = Verify.Prng.float g < c.poison_rate in
+  let flush = Verify.Prng.float g < c.flush_rate in
+  if stall then Atomic.incr p.stalls;
+  if poison then Atomic.incr p.poisons;
+  if flush then Atomic.incr p.flushes;
+  { stall_s = (if stall then c.stall_s else 0.0); poison; flush }
+
+type counters = { stalls : int; poisons : int; flushes : int }
+
+let counters (p : plan) =
+  {
+    stalls = Atomic.get p.stalls;
+    poisons = Atomic.get p.poisons;
+    flushes = Atomic.get p.flushes;
+  }

@@ -1,0 +1,50 @@
+(** Service-level chaos harness: a seeded, deterministic fault plan
+    injecting worker stalls, poisoned requests, and shard flush storms
+    above the PR 3 guest-level faults.
+
+    Every decision is a pure function of (seed, request id, attempt):
+    {!draw} builds a fresh PRNG stream per key, so fault placement is
+    independent of worker scheduling and replays bit-for-bit from the
+    seed.  Counters are atomic; with a deterministic request/attempt
+    schedule the totals replay exactly too. *)
+
+type config = {
+  stall_rate : float;  (** P(worker stalls before an attempt) *)
+  stall_s : float;  (** stall duration (wall-clock only; does not
+                        perturb any deterministic statistic) *)
+  poison_rate : float;  (** P(attempt raises {!Poisoned} pre-run) *)
+  flush_rate : float;  (** P(the request's own cache shard is flushed
+                           before the attempt) *)
+}
+
+val default_config : config
+val check_config : config -> config
+
+type plan
+
+val plan : ?config:config -> seed:int -> unit -> plan
+val seed : plan -> int
+
+type event = {
+  stall_s : float;  (** 0.0 = no stall *)
+  poison : bool;
+  flush : bool;
+}
+
+val inert : event
+(** The no-chaos event (used when no plan is configured). *)
+
+exception Poisoned of int
+(** Raised by the server in place of running a poisoned attempt; the
+    payload is the request id. *)
+
+val poison_exn : rid:int -> exn
+
+val draw : plan -> rid:int -> attempt:int -> event
+(** The chaos verdict for one attempt; deterministic in
+    (seed, rid, attempt), counted on every call. *)
+
+type counters = { stalls : int; poisons : int; flushes : int }
+
+val counters : plan -> counters
+(** Snapshot of draws that fired so far. *)

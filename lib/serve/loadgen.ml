@@ -25,6 +25,7 @@ type spec = {
   tenants : int;
   shared_cache : bool;
   fault : Server.fault_spec option;
+  deadline : Server.deadline option;
   jobs : Exec.Matrix.job array;
 }
 
@@ -41,6 +42,7 @@ let request_of spec i =
     job = spec.jobs.(i mod Array.length spec.jobs);
     shared_cache = spec.shared_cache;
     fault = spec.fault;
+    deadline = spec.deadline;
   }
 
 let validate spec =

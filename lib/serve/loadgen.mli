@@ -19,6 +19,7 @@ type spec = {
   tenants : int;  (** round-robin tenant count *)
   shared_cache : bool;  (** run against tenant shards *)
   fault : Server.fault_spec option;  (** per-request fault campaigns *)
+  deadline : Server.deadline option;  (** per-request deadline budget *)
   jobs : Exec.Matrix.job array;  (** cycled through round-robin *)
 }
 

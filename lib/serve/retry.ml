@@ -1,0 +1,67 @@
+(* Jittered exponential backoff and per-tenant retry budgets.
+
+   Backoff delays are drawn from a caller-supplied [Verify.Prng] so a
+   seeded service replays the exact same delay sequence; budgets are a
+   simple atomic token pool so retry storms from one tenant cannot
+   amplify overload for everyone (the paper's rollback ladder, lifted
+   to the request level: bounded recovery, never unbounded re-try). *)
+
+type policy = {
+  max_attempts : int;  (* total attempts, first try included *)
+  base_backoff_s : float;
+  max_backoff_s : float;
+  jitter : float;  (* fraction of the delay randomized away, [0,1] *)
+}
+
+let default_policy =
+  { max_attempts = 3; base_backoff_s = 0.001; max_backoff_s = 0.05; jitter = 0.5 }
+
+let check_policy p =
+  if p.max_attempts < 1 then invalid_arg "Serve.Retry: max_attempts < 1";
+  if p.base_backoff_s < 0.0 || p.max_backoff_s < p.base_backoff_s then
+    invalid_arg "Serve.Retry: backoff bounds";
+  if p.jitter < 0.0 || p.jitter > 1.0 then
+    invalid_arg "Serve.Retry: jitter not in [0,1]";
+  p
+
+(* Attempt [n] (1-based) just failed: the delay before attempt [n+1]
+   doubles per failure, clamps at [max_backoff_s], then loses up to
+   [jitter] of itself uniformly at random (decorrelating tenants that
+   fail in lockstep). *)
+let backoff_s p ~prng ~attempt =
+  if attempt < 1 then invalid_arg "Serve.Retry.backoff_s: attempt < 1";
+  let exp =
+    p.base_backoff_s *. (2.0 ** float_of_int (min 30 (attempt - 1)))
+  in
+  let clamped = Float.min p.max_backoff_s exp in
+  clamped *. (1.0 -. (p.jitter *. Verify.Prng.float prng))
+
+type budget = {
+  tokens : int Atomic.t option;  (* None = unlimited *)
+  used : int Atomic.t;
+}
+
+let budget n =
+  if n < 0 then invalid_arg "Serve.Retry.budget: negative";
+  { tokens = Some (Atomic.make n); used = Atomic.make 0 }
+
+let unlimited () = { tokens = None; used = Atomic.make 0 }
+
+(* Take one retry token; [false] means the budget is spent and the
+   caller must stop retrying.  Lock-free: a failed decrement undoes
+   itself, so concurrent takers never push the pool negative for an
+   observer that reads after the dust settles. *)
+let try_take b =
+  match b.tokens with
+  | None ->
+    Atomic.incr b.used;
+    true
+  | Some tk ->
+    let got = Atomic.fetch_and_add tk (-1) > 0 in
+    if got then Atomic.incr b.used else Atomic.incr tk;
+    got
+
+let taken b = Atomic.get b.used
+
+let remaining b =
+  match b.tokens with None -> None | Some tk -> Some (max 0 (Atomic.get tk))

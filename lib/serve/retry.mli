@@ -1,0 +1,44 @@
+(** Jittered exponential backoff and per-tenant retry budgets.
+
+    Delay randomness comes from a caller-owned [Verify.Prng], so a
+    seeded server replays identical backoff sequences; budgets are
+    atomic token pools shared across worker domains. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, first try included; >= 1 *)
+  base_backoff_s : float;  (** delay after the first failure *)
+  max_backoff_s : float;  (** clamp for the exponential growth *)
+  jitter : float;
+      (** fraction of each delay randomized away, in [0,1]; 0 is fully
+          deterministic, 1 draws uniformly from [0, delay] *)
+}
+
+val default_policy : policy
+(** 3 attempts, 1ms base, 50ms cap, 0.5 jitter. *)
+
+val check_policy : policy -> policy
+(** Validates field ranges; raises [Invalid_argument] otherwise. *)
+
+val backoff_s : policy -> prng:Verify.Prng.t -> attempt:int -> float
+(** Delay before the attempt after 1-based [attempt] failed:
+    [base * 2^(attempt-1)] clamped to [max_backoff_s], minus up to
+    [jitter] of itself drawn from [prng]. *)
+
+type budget
+(** A pool of retry tokens, safe to share across domains. *)
+
+val budget : int -> budget
+(** A pool with [n] tokens; each retry consumes one. *)
+
+val unlimited : unit -> budget
+(** Never refuses; still counts {!taken}. *)
+
+val try_take : budget -> bool
+(** Consume one token; [false] when the pool is exhausted (the caller
+    must fail over instead of retrying). *)
+
+val taken : budget -> int
+(** Retries granted so far. *)
+
+val remaining : budget -> int option
+(** Tokens left, [None] for {!unlimited}. *)

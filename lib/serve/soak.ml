@@ -1,0 +1,330 @@
+(* The sustained soak: minutes of mixed plain / fault / verify / heavy
+   traffic against one server with every resilience feature on —
+   deadlines, retries, per-(tenant, scheme) breakers, and service-level
+   chaos — reporting tail latency (p50..p99.9), breaker transitions,
+   retry totals, and the GC-derived memory ceiling.
+
+   Determinism is the load-bearing wall: [smarq_run soak --chaos-seed S]
+   run twice must produce identical reports modulo wall-clock fields.
+   Three choices make that hold under any worker interleaving:
+
+   - The driver serializes per tenant: each tenant has at most one
+     outstanding request, refilled round-robin, so every breaker and
+     retry budget (both per-tenant) sees a total, reproducible event
+     order no matter which domain runs what.
+   - Every budget is counted, not timed: deadlines are dispatched-block
+     budgets, breaker cooldowns are admission counts, chaos decisions
+     are pure functions of (seed, rid, attempt).  Wall clocks appear
+     only in latency percentiles, which the replay test masks out.
+   - The classes whose deterministic outcome depends on cache state
+     (fault-injected and deadline-heavy requests) run private caches;
+     the shared-shard classes use warmth only for speed, never for a
+     counted decision.
+
+   Request classes, by submission id [rid mod 8]:
+     0,3,6  Plain     shared shard, smarq64 / alat
+     1,5    Faulty    private cache, PR-3 fault campaign, smarq16
+     2      Verified  shared shard, --verify-regions=all, smarq64
+     4      Heavy     private cache, larger scale, a block budget it
+                      cannot meet — the deterministic timeout source
+                      (and, via its own scheme, the breaker driver)
+     7      Plain     shared shard, alat *)
+
+type config = {
+  requests : int;
+  tenants : int;
+  domains : int;
+  benches : string array;  (* suite benchmark names, cycled by class *)
+  scale : int;
+  heavy_scale : int;
+  chaos_seed : int;
+  chaos : Chaos.config;
+  fault_seed : int;
+  fault_rate : float;
+  deadline_blocks : int;  (* block budget for every normal class *)
+  heavy_blocks : int;  (* block budget the heavy class cannot meet *)
+  retry : Retry.policy;
+  retry_budget : int;  (* tokens per tenant *)
+  breaker : Breaker.config;
+  shard_policy : Tcache.Policy.t;
+  tenant_budget : int option;
+  duration_s : float option;  (* stop submitting past this; makes the
+                                 report wall-bounded (not replayable) *)
+  gc_every : int;  (* GC sample cadence, in collected replies *)
+}
+
+let default_config =
+  {
+    requests = 240;
+    tenants = 4;
+    domains = 2;
+    benches = [| "wupwise"; "swim" |];
+    scale = 1;
+    heavy_scale = 3;
+    chaos_seed = 1;
+    chaos = { Chaos.default_config with poison_rate = 0.2 };
+    fault_seed = 1;
+    fault_rate = 0.05;
+    (* calibrated: normal classes dispatch ~900 blocks at scale 1, the
+       heavy class ~2_300 at heavy_scale 3 — so the normal budget never
+       trips below scale ~200 and the heavy budget always does *)
+    deadline_blocks = 200_000;
+    heavy_blocks = 64;
+    retry = { Retry.default_policy with max_attempts = 2 };
+    retry_budget = 64;
+    (* tighter than the server default so the heavy class's repeated
+       timeouts visibly trip, shed, probe and re-open within one run *)
+    breaker = { Breaker.window = 4; failure_threshold = 0.5; cooldown = 2 };
+    shard_policy = Tcache.Policy.Lru;
+    tenant_budget = None;
+    duration_s = None;
+    gc_every = 32;
+  }
+
+type mem = {
+  heap_mb_start : float;
+  heap_mb_peak : float;
+  heap_mb_end : float;
+  top_heap_mb : float;  (* the memory ceiling: max major heap ever *)
+  major_collections : int;
+}
+
+type report = {
+  cfg : config;
+  server : Server.report;
+  issued : int;
+  elapsed_s : float;
+  throughput_rps : float;
+  mem : mem;
+  pool : Exec.Pool.health;
+  wall_bounded : bool;  (* duration_s cut submission short *)
+}
+
+let words_to_mb w = float_of_int w *. float_of_int (Sys.word_size / 8) /. 1e6
+
+let heap_mb () = words_to_mb (Gc.quick_stat ()).Gc.heap_words
+
+let validate cfg =
+  if cfg.requests < 0 then invalid_arg "Serve.Soak: requests < 0";
+  if cfg.tenants < 1 then invalid_arg "Serve.Soak: tenants < 1";
+  if cfg.domains < 1 then invalid_arg "Serve.Soak: domains < 1";
+  if Array.length cfg.benches = 0 then invalid_arg "Serve.Soak: no benches";
+  if cfg.deadline_blocks < 1 || cfg.heavy_blocks < 1 then
+    invalid_arg "Serve.Soak: block budgets < 1";
+  if cfg.gc_every < 1 then invalid_arg "Serve.Soak: gc_every < 1";
+  ignore (Retry.check_policy cfg.retry);
+  ignore (Breaker.check_config cfg.breaker);
+  ignore (Chaos.check_config cfg.chaos)
+
+(* The request for submission id [rid]; tenant is [rid mod tenants]
+   because the driver below issues round-robin in rid order. *)
+let request_of cfg benches rid =
+  let tenant = "t" ^ string_of_int (rid mod cfg.tenants) in
+  let bench i = benches.(i mod Array.length benches) in
+  let deadline blocks = Some { Server.wall_s = None; blocks = Some blocks } in
+  match rid mod 8 with
+  | 1 | 5 ->
+    {
+      Server.tenant;
+      job =
+        Exec.Matrix.of_bench ~scale:cfg.scale ~scheme:(Smarq.Scheme.Smarq 16)
+          (bench 1);
+      shared_cache = false;
+      fault =
+        Some
+          { Server.fault_seed = cfg.fault_seed; fault_rate = cfg.fault_rate };
+      deadline = deadline cfg.deadline_blocks;
+    }
+  | 2 ->
+    {
+      Server.tenant;
+      job =
+        Exec.Matrix.of_bench ~verify:Check.Verifier.All ~scale:cfg.scale
+          ~scheme:(Smarq.Scheme.Smarq 64) (bench 0);
+      shared_cache = true;
+      fault = None;
+      deadline = deadline cfg.deadline_blocks;
+    }
+  | 4 ->
+    {
+      Server.tenant;
+      job =
+        Exec.Matrix.of_bench ~scale:cfg.heavy_scale
+          ~scheme:Smarq.Scheme.Efficeon (bench 0);
+      shared_cache = false;
+      fault = None;
+      deadline = deadline cfg.heavy_blocks;
+    }
+  | 7 ->
+    {
+      Server.tenant;
+      job =
+        Exec.Matrix.of_bench ~scale:cfg.scale ~scheme:Smarq.Scheme.Alat
+          (bench 1);
+      shared_cache = true;
+      fault = None;
+      deadline = deadline cfg.deadline_blocks;
+    }
+  | _ ->
+    {
+      Server.tenant;
+      job =
+        Exec.Matrix.of_bench ~scale:cfg.scale ~scheme:(Smarq.Scheme.Smarq 64)
+          (bench 0);
+      shared_cache = true;
+      fault = None;
+      deadline = deadline cfg.deadline_blocks;
+    }
+
+let run cfg =
+  validate cfg;
+  let benches = Array.map Workload.Specfp.find cfg.benches in
+  let chaos_plan = Chaos.plan ~config:cfg.chaos ~seed:cfg.chaos_seed () in
+  let server =
+    Server.create
+      ~config:
+        {
+          Server.domains = cfg.domains;
+          (* one outstanding request per tenant: the bound can never
+             reject, every admission decision is the breakers' *)
+          queue_limit = max 4 (2 * cfg.tenants);
+          batch = 1;
+          shard_policy = cfg.shard_policy;
+          tenant_budget = cfg.tenant_budget;
+          retry = Some cfg.retry;
+          retry_budget = Some cfg.retry_budget;
+          retry_seed = cfg.chaos_seed;
+          breaker = Some cfg.breaker;
+          chaos = Some chaos_plan;
+        }
+      ()
+  in
+  let heap_mb_start = heap_mb () in
+  let heap_mb_peak = ref heap_mb_start in
+  let collected = ref 0 in
+  let sample_gc () =
+    if !collected mod cfg.gc_every = 0 then
+      heap_mb_peak := Float.max !heap_mb_peak (heap_mb ())
+  in
+  let collect ticket =
+    ignore (Server.await ticket);
+    incr collected;
+    sample_gc ()
+  in
+  (* round-robin, one outstanding request per tenant: tenant [k]'s
+     requests execute strictly in rid order, which is what makes every
+     per-tenant counter (breakers, retry budgets) replay exactly *)
+  let outstanding : Server.ticket option array = Array.make cfg.tenants None in
+  let t0 = Unix.gettimeofday () in
+  let over_duration () =
+    match cfg.duration_s with
+    | None -> false
+    | Some d -> Unix.gettimeofday () -. t0 >= d
+  in
+  let issued = ref 0 in
+  let wall_bounded = ref false in
+  (try
+     for i = 0 to cfg.requests - 1 do
+       if over_duration () then begin
+         wall_bounded := true;
+         raise_notrace Exit
+       end;
+       let k = i mod cfg.tenants in
+       (match outstanding.(k) with
+       | Some ticket ->
+         outstanding.(k) <- None;
+         collect ticket
+       | None -> ());
+       match Server.submit server (request_of cfg benches i) with
+       | `Accepted ticket ->
+         incr issued;
+         outstanding.(k) <- Some ticket
+       | `Rejected ->
+         (* unreachable: at most [tenants] outstanding < queue_limit *)
+         ()
+     done
+   with Exit -> ());
+  Array.iteri
+    (fun k ticket ->
+      match ticket with
+      | Some ticket ->
+        outstanding.(k) <- None;
+        collect ticket
+      | None -> ())
+    outstanding;
+  let pool = Server.pool_health server in
+  Server.shutdown server;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let server_report = Server.report server in
+  let q = Gc.quick_stat () in
+  {
+    cfg;
+    server = server_report;
+    issued = !issued;
+    elapsed_s;
+    throughput_rps =
+      (if elapsed_s > 0.0 then float_of_int !collected /. elapsed_s else 0.0);
+    mem =
+      {
+        heap_mb_start;
+        heap_mb_peak = Float.max !heap_mb_peak (heap_mb ());
+        heap_mb_end = heap_mb ();
+        top_heap_mb = words_to_mb q.Gc.top_heap_words;
+        major_collections = q.Gc.major_collections;
+      };
+    pool;
+    wall_bounded = !wall_bounded;
+  }
+
+(* Exactly the fields two same-seed runs must agree on: every counted
+   quantity, no wall clocks.  The replay test and the CLI determinism
+   check compare this string. *)
+let deterministic_json (r : report) =
+  let s = r.server in
+  Printf.sprintf
+    "{\"chaos_seed\":%d,\"issued\":%d,\"completed\":%d,\"timed_out\":%d,\
+     \"degraded\":%d,\"rejected\":%d,\"errors\":%d,\"retries\":%d,\
+     \"retry_budget_exhausted\":%d,\"breaker_transitions\":%d,\
+     \"breaker_sheds\":%d,\"chaos_stalls\":%d,\"chaos_poisons\":%d,\
+     \"chaos_flushes\":%d,\"injected_faults\":%d,\"pool_failed_jobs\":%d}"
+    r.cfg.chaos_seed r.issued s.Server.completed s.Server.timed_out
+    s.Server.degraded s.Server.rejected s.Server.errors s.Server.retries
+    s.Server.retry_budget_exhausted s.Server.breaker_transitions
+    s.Server.breaker_sheds s.Server.chaos_stalls s.Server.chaos_poisons
+    s.Server.chaos_flushes s.Server.injected_faults r.pool.Exec.Pool.failed
+
+(* Every accepted request must resolve as exactly one of
+   completed / timed-out / degraded / failed. *)
+let fully_resolved (r : report) =
+  let s = r.server in
+  s.Server.completed + s.Server.timed_out + s.Server.degraded
+  + s.Server.errors
+  = r.issued
+
+let report_json (r : report) =
+  Printf.sprintf
+    "{\"requests\":%d,\"tenants\":%d,\"domains\":%d,\"deadline_blocks\":%d,\
+     \"heavy_blocks\":%d,\"wall_bounded\":%b,\"deterministic\":%s,\
+     \"elapsed_s\":%.3f,\"throughput_rps\":%.3f,\
+     \"mem\":{\"heap_mb_start\":%.2f,\"heap_mb_peak\":%.2f,\
+     \"heap_mb_end\":%.2f,\"top_heap_mb\":%.2f,\"major_collections\":%d},\
+     \"pool\":{\"queue_depth\":%d,\"failed_jobs\":%d,\"shutting_down\":%b,\
+     \"domains\":%d},\"server\":%s}"
+    r.cfg.requests r.cfg.tenants r.cfg.domains r.cfg.deadline_blocks
+    r.cfg.heavy_blocks r.wall_bounded (deterministic_json r) r.elapsed_s
+    r.throughput_rps r.mem.heap_mb_start r.mem.heap_mb_peak r.mem.heap_mb_end
+    r.mem.top_heap_mb r.mem.major_collections r.pool.Exec.Pool.queue_depth
+    r.pool.Exec.Pool.failed r.pool.Exec.Pool.shutting_down
+    r.pool.Exec.Pool.domains
+    (Server.report_json r.server)
+
+let pp ppf (r : report) =
+  Format.fprintf ppf
+    "@[<v>soak: %d issued over %.1fs (%.1f req/s)%s@,%a@,\
+     memory: %.1f MB start, %.1f MB peak, %.1f MB end, ceiling %.1f MB \
+     (%d major GCs)@,pool: %d queued, %d failed jobs@]"
+    r.issued r.elapsed_s r.throughput_rps
+    (if r.wall_bounded then " [wall-bounded]" else "")
+    Server.pp_report r.server r.mem.heap_mb_start r.mem.heap_mb_peak
+    r.mem.heap_mb_end r.mem.top_heap_mb r.mem.major_collections
+    r.pool.Exec.Pool.queue_depth r.pool.Exec.Pool.failed

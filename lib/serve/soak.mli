@@ -1,0 +1,76 @@
+(** Sustained soak: mixed plain / fault / verify / heavy traffic
+    against one server with deadlines, retries, breakers, and chaos all
+    enabled, reporting tail latency (through p99.9), breaker and retry
+    totals, and the GC memory ceiling.
+
+    The harness is deterministic by construction: one outstanding
+    request per tenant (so per-tenant breakers and retry budgets see a
+    total event order), counted budgets everywhere (block deadlines,
+    admission-count cooldowns, (seed, rid, attempt)-keyed chaos), and
+    private caches for the classes whose counted outcome could depend
+    on cache warmth.  Two runs with the same config produce identical
+    {!deterministic_json} strings; wall clocks only reach the latency
+    summaries. *)
+
+type config = {
+  requests : int;
+  tenants : int;
+  domains : int;
+  benches : string array;  (** suite benchmark names, cycled by class *)
+  scale : int;  (** workload scale of the normal classes *)
+  heavy_scale : int;  (** workload scale of the timeout class *)
+  chaos_seed : int;  (** seeds chaos and backoff jitter *)
+  chaos : Chaos.config;
+  fault_seed : int;  (** PR-3 guest-fault campaigns (plus rid) *)
+  fault_rate : float;
+  deadline_blocks : int;  (** per-run block budget, normal classes *)
+  heavy_blocks : int;  (** block budget the heavy class cannot meet *)
+  retry : Retry.policy;
+  retry_budget : int;  (** retry tokens per tenant *)
+  breaker : Breaker.config;
+  shard_policy : Tcache.Policy.t;
+  tenant_budget : int option;
+  duration_s : float option;
+      (** stop submitting past this wall bound; sets [wall_bounded]
+          (the report is then not seed-replayable) *)
+  gc_every : int;  (** heap-sample cadence, in collected replies *)
+}
+
+val default_config : config
+
+type mem = {
+  heap_mb_start : float;
+  heap_mb_peak : float;  (** sampled every [gc_every] replies *)
+  heap_mb_end : float;
+  top_heap_mb : float;  (** [Gc.top_heap_words]: the true ceiling *)
+  major_collections : int;
+}
+
+type report = {
+  cfg : config;
+  server : Server.report;
+  issued : int;  (** requests accepted (equals submissions here) *)
+  elapsed_s : float;
+  throughput_rps : float;
+  mem : mem;
+  pool : Exec.Pool.health;  (** snapshot taken just before shutdown *)
+  wall_bounded : bool;
+}
+
+val run : config -> report
+(** Drive the soak to completion (all replies collected, server shut
+    down).  Raises [Invalid_argument] on out-of-range config. *)
+
+val deterministic_json : report -> string
+(** The seed-replayable core: every counted quantity, no wall clocks.
+    Two runs of the same config must return equal strings. *)
+
+val fully_resolved : report -> bool
+(** [completed + timed_out + degraded + errors = issued] — every
+    accepted request resolved exactly once. *)
+
+val report_json : report -> string
+(** The full report: config echo, [deterministic] core, latency
+    summaries (p50/p95/p99/p99.9), memory, pool health. *)
+
+val pp : Format.formatter -> report -> unit

@@ -88,7 +88,8 @@ let json_line cfg r =
     r.bench r.entry.Oracle.scheme r.seed cfg.rate
     (match r.entry.Oracle.outcome with
     | Runtime.Driver.Completed -> "completed"
-    | Runtime.Driver.Fuel_exhausted -> "fuel_exhausted")
+    | Runtime.Driver.Fuel_exhausted -> "fuel_exhausted"
+    | Runtime.Driver.Deadline_exceeded -> "deadline_exceeded")
     (Oracle.entry_ok r.entry)
     st.Runtime.Stats.injected_faults st.Runtime.Stats.spurious_rollbacks
     st.Runtime.Stats.degraded_regions st.Runtime.Stats.rollbacks

@@ -185,6 +185,7 @@ let hooks p =
       is_injected =
         (fun v -> match p.last_violation with Some w -> w == v | None -> false);
       injected_count = (fun () -> p.total);
+      deadline = (fun () -> false);
     }
 
 let pp_counters ppf c =

@@ -68,7 +68,8 @@ let check ?config ?fuel ?interp_fuel ?watchdog ?fault ?verify ?(seed = 1)
         in
         let divergence =
           match r.Runtime.Driver.outcome with
-          | Runtime.Driver.Fuel_exhausted ->
+          | Runtime.Driver.Fuel_exhausted | Runtime.Driver.Deadline_exceeded
+            ->
             (* partial state cannot be compared against a completed
                oracle; the non-Completed outcome already fails the
                entry *)
@@ -96,7 +97,8 @@ let pp_entry ppf e =
     e.scheme
     (match e.outcome with
     | Runtime.Driver.Completed -> "completed"
-    | Runtime.Driver.Fuel_exhausted -> "OUT-OF-FUEL")
+    | Runtime.Driver.Fuel_exhausted -> "OUT-OF-FUEL"
+    | Runtime.Driver.Deadline_exceeded -> "DEADLINE")
     e.injected st.Runtime.Stats.spurious_rollbacks
     st.Runtime.Stats.degraded_regions
     (if entry_static_ok e then ""
