@@ -132,6 +132,16 @@ let verify_regions_arg =
     & opt verify_mode_conv Check.Verifier.Off
     & info [ "verify-regions" ] ~docv:"MODE" ~doc)
 
+let certify_arg =
+  let doc =
+    "Static alias certification: run the abstract-interpretation \
+     disambiguator inside every translation.  Certified pairs carry \
+     machine-checkable witnesses, skip their alias registers / ALAT \
+     entries / mask bits, and promote any runtime alias fault on a \
+     certified pair to a hard soundness error."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
 let translate_jobs_arg =
   let doc =
     "Translation job count: captured optimize requests are replayed \
@@ -178,7 +188,7 @@ let list_cmd =
 
 let run_cmd =
   let run bench scheme scale tcache_policy tcache_capacity fault_seed
-      fault_rate oracle verify translate_jobs =
+      fault_rate oracle verify certify translate_jobs =
     let b = find_bench bench in
     let program = Workload.Specfp.program ~scale b in
     let fault =
@@ -189,7 +199,7 @@ let run_cmd =
     let r =
       fst
         (Verify.Oracle.run_scheme ~fuel:2_000_000_000 ~tcache_policy
-           ?tcache_capacity ?fault ~verify ~scheme program)
+           ?tcache_capacity ?fault ~verify ~certify ~scheme program)
     in
     Printf.printf "%s under %s (scale %d, tcache %s%s%s):\n" bench
       (Smarq.Scheme.name scheme) scale
@@ -214,6 +224,12 @@ let run_cmd =
       print_endline "  (deadline exceeded before the program halted)");
     Format.print_flush ();
     let stats = r.Runtime.Driver.stats in
+    if stats.Runtime.Stats.certified_alias_faults > 0 then begin
+      Printf.eprintf
+        "SOUNDNESS: %d alias faults hit statically certified pairs\n"
+        stats.Runtime.Stats.certified_alias_faults;
+      exit 1
+    end;
     if stats.Runtime.Stats.rejected_regions > 0 then begin
       Printf.eprintf "verifier REJECTED %d of %d regions:\n"
         stats.Runtime.Stats.rejected_regions
@@ -271,7 +287,7 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ scheme_arg $ scale_arg $ tcache_policy_arg
       $ tcache_capacity_arg $ fault_seed_arg $ fault_rate_arg $ oracle_arg
-      $ verify_regions_arg $ translate_jobs_arg)
+      $ verify_regions_arg $ certify_arg $ translate_jobs_arg)
 
 let jobs_arg =
   let doc =
@@ -357,7 +373,7 @@ let fuzz_cmd =
       & opt (some string) None
       & info [ "report" ] ~docv:"PATH" ~doc)
   in
-  let run seeds first_seed rate bench scale report =
+  let run seeds first_seed rate bench scale certify report =
     let cfg =
       {
         Verify.Campaign.default_config with
@@ -365,6 +381,7 @@ let fuzz_cmd =
           List.init seeds (fun i -> first_seed + i);
         rate;
         scale;
+        certify;
       }
     in
     let benches =
@@ -399,7 +416,7 @@ let fuzz_cmd =
           with every run checked against the interpreter oracle")
     Term.(
       const run $ seeds_arg $ first_seed_arg $ rate_arg $ bench_opt_arg
-      $ scale_arg $ report_arg)
+      $ scale_arg $ certify_arg $ report_arg)
 
 (* Interpret until a block turns hot, then form its superblock — the
    artifact source for `region' and the mutation harness. *)
@@ -450,6 +467,14 @@ let verify_cmd =
       Smarq.Scheme.None_;
     ]
   in
+  let certify_schemes =
+    [
+      Smarq.Scheme.Smarq 64;
+      Smarq.Scheme.Smarq 16;
+      Smarq.Scheme.Alat;
+      Smarq.Scheme.Efficeon;
+    ]
+  in
   let run scale domains report =
     (* phase 1: the full bench x scheme matrix under --verify-regions=all *)
     let jobs =
@@ -459,7 +484,19 @@ let verify_cmd =
             (fun s ->
               Exec.Matrix.of_bench ~fuel:2_000_000_000
                 ~verify:Check.Verifier.All ~scale ~scheme:s b)
-            schemes)
+            schemes
+          @ List.map
+              (fun s ->
+                (* certification changes the dependence graphs the
+                   verifier replays; every certified region must still
+                   pass, witnesses included *)
+                Exec.Matrix.job ~fuel:2_000_000_000 ~verify:Check.Verifier.All
+                  ~certify:true ~scheme:s
+                  ~label:
+                    (Printf.sprintf "%s/%s+cert" b.Workload.Specfp.name
+                       (Smarq.Scheme.name s))
+                  (fun () -> Workload.Specfp.program ~scale b))
+              certify_schemes)
         Workload.Specfp.suite
     in
     let outcomes = Exec.Matrix.run_matrix ~domains jobs in
@@ -502,15 +539,34 @@ let verify_cmd =
           match hot_superblock program with
           | None -> []
           | Some (sb, fresh_id) ->
+            let cells =
+              List.map
+                (fun scheme ->
+                  (Smarq.Scheme.name scheme, policy_of_scheme scheme, sb))
+                schemes
+              @
+              (* certified cells on an unrolled body: unrolling creates
+                 the cross-iteration may-alias pairs the certifier
+                 proves, so these artifacts carry witnesses and exercise
+                 the witness-corruption mutants *)
+              match Opt.Unroll.unroll ~factor:4 ~fresh_id sb with
+              | None -> []
+              | Some sb4 ->
+                List.map
+                  (fun scheme ->
+                    ( Smarq.Scheme.name scheme ^ "+cert",
+                      Sched.Policy.with_certify (policy_of_scheme scheme),
+                      sb4 ))
+                  certify_schemes
+            in
             List.map
-              (fun scheme ->
+              (fun (scheme_label, policy, sb) ->
                 let label =
-                  Printf.sprintf "%s/%s" b.Workload.Specfp.name
-                    (Smarq.Scheme.name scheme)
+                  Printf.sprintf "%s/%s" b.Workload.Specfp.name scheme_label
                 in
                 let o =
-                  Opt.Optimizer.optimize ~policy:(policy_of_scheme scheme)
-                    ~issue_width:4 ~mem_ports:2 ~latency ~fresh_id sb
+                  Opt.Optimizer.optimize ~policy ~issue_width:4 ~mem_ports:2
+                    ~latency ~fresh_id sb
                 in
                 let s =
                   Check.Mutate.run ~issue_width:4 ~mem_ports:2 ~latency o
@@ -532,7 +588,7 @@ let verify_cmd =
                    \"killed\":%d}"
                   label s.Check.Mutate.baseline_pass s.Check.Mutate.total
                   s.Check.Mutate.killed)
-              schemes)
+              cells)
         Workload.Specfp.suite
     in
     Printf.printf "mutation harness: %d mutants, %d killed\n" !total_mutants

@@ -266,11 +266,15 @@ let real_edges_swept ~arena ~body ~alias ~emit_edges =
       let classify i =
         (* same bucket is excluded at the registry level *)
         if May_alias.is_known alias id.(i) id.(j) then 1
-        else if bcode.(i) = bcode.(j) then 0
+        else if bcode.(i) = bcode.(j) then
+          (* same base, different generation: may-alias unless the
+             certifier proved the pair disjoint *)
+          if May_alias.certified alias id.(i) id.(j) then -1 else 0
         else if cbase.(i) <> no_cbase && cbase.(j) <> no_cbase then begin
           let d1 = cbase.(i) + disp.(i) and d2 = cbase.(j) + disp.(j) in
           if d1 < d2 + width.(j) && d2 < d1 + width.(i) then 1 else -1
         end
+        else if May_alias.certified alias id.(i) id.(j) then -1
         else 0
       in
       let scan (bs : A.vec) head next =

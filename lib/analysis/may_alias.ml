@@ -8,6 +8,7 @@ type t = {
   instrs : Ir.Instr.t array;  (* body, original order *)
   def_positions : (Ir.Reg.t, int list) Hashtbl.t;  (* sorted ascending *)
   known : (int * int, unit) Hashtbl.t;  (* normalized id pairs *)
+  certified : (int * int, unit) Hashtbl.t;  (* statically proven disjoint *)
   const_facts : Const_prop.t option;
 }
 
@@ -34,9 +35,17 @@ let analyze ?(known_alias = []) ?const_facts ~body () =
   List.iter
     (fun (a, b) -> Hashtbl.replace known (norm_pair a b) ())
     known_alias;
-  { position; instrs; def_positions; known; const_facts }
+  { position; instrs; def_positions; known;
+    certified = Hashtbl.create 16; const_facts }
 
 let add_known_alias t a b = Hashtbl.replace t.known (norm_pair a b) ()
+
+let set_certified t pairs =
+  Hashtbl.reset t.certified;
+  List.iter (fun (a, b) -> Hashtbl.replace t.certified (norm_pair a b) ())
+    pairs
+
+let certified t a b = Hashtbl.mem t.certified (norm_pair a b)
 
 (* Is [r] (re)defined at any body index in [lo, hi)? *)
 let defined_in t r ~lo ~hi =
@@ -66,7 +75,8 @@ let direct_verdict t (x : Ir.Instr.t) ax (y : Ir.Instr.t) ay =
       else Some No_alias
     | _ -> None)
 
-let verdict t (x : Ir.Instr.t) (y : Ir.Instr.t) =
+(* Base verdict, before static certification is consulted. *)
+let base_verdict t (x : Ir.Instr.t) (y : Ir.Instr.t) =
   if Hashtbl.mem t.known (norm_pair x.id y.id) then Must_alias
   else
     match Ir.Instr.mem_addr x, Ir.Instr.mem_addr y with
@@ -91,6 +101,13 @@ let verdict t (x : Ir.Instr.t) (y : Ir.Instr.t) =
         | _ -> May_alias
       end
     | _ -> No_alias
+
+(* Certification only ever upgrades a May verdict: known-alias pairs
+   and pairs the base analysis decides exactly are never overridden. *)
+let verdict t (x : Ir.Instr.t) (y : Ir.Instr.t) =
+  match base_verdict t x y with
+  | May_alias when Hashtbl.mem t.certified (norm_pair x.id y.id) -> No_alias
+  | v -> v
 
 let is_known t a b = Hashtbl.mem t.known (norm_pair a b)
 

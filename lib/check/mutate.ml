@@ -10,6 +10,13 @@ type mutation =
   | Hoist_across_hazard
   | Delete_instr
   | Over_rotate
+  | Shift_witness_range
+  | Widen_witness_range
+  | Swap_witness_origin
+  | Drop_witness
+  | Forge_witness
+  | Desync_region_cert
+  | Bogus_witness_endpoint
 
 let mutation_name = function
   | Drop_check -> "drop_check"
@@ -21,6 +28,13 @@ let mutation_name = function
   | Hoist_across_hazard -> "hoist_across_hazard"
   | Delete_instr -> "delete_instr"
   | Over_rotate -> "over_rotate"
+  | Shift_witness_range -> "shift_witness_range"
+  | Widen_witness_range -> "widen_witness_range"
+  | Swap_witness_origin -> "swap_witness_origin"
+  | Drop_witness -> "drop_witness"
+  | Forge_witness -> "forge_witness"
+  | Desync_region_cert -> "desync_region_cert"
+  | Bogus_witness_endpoint -> "bogus_witness_endpoint"
 
 let expected_rules = function
   | Drop_check -> [ Verifier.Queue_uncovered ]
@@ -33,6 +47,13 @@ let expected_rules = function
   | Hoist_across_hazard -> [ Verifier.Sched_hazard ]
   | Delete_instr -> [ Verifier.Sched_complete ]
   | Over_rotate -> [ Verifier.Queue_base_sync ]
+  | Shift_witness_range -> [ Verifier.Cert_derivation ]
+  | Widen_witness_range -> [ Verifier.Cert_separation ]
+  | Swap_witness_origin -> [ Verifier.Cert_derivation ]
+  | Drop_witness -> [ Verifier.Cert_dep_missing ]
+  | Forge_witness -> [ Verifier.Cert_edge_kept ]
+  | Desync_region_cert -> [ Verifier.Cert_region_sync ]
+  | Bogus_witness_endpoint -> [ Verifier.Cert_endpoints ]
 
 (* ---- deep copies: only the parts mutations touch need to be fresh
    (bundles array, allocation hash tables); instructions and edge
@@ -341,6 +362,181 @@ let over_rotate (o : Opt.Optimizer.t) =
                | _ -> i)))
   | _ -> None
 
+(* ---- witness-corruption mutations: rebuild the certificate from a
+   tampered witness list, keeping the region's certified list in sync
+   (each class targets exactly one verifier rule) *)
+
+let with_cert (o : Opt.Optimizer.t) ws =
+  let cert = Analysis.Disamb.of_witnesses ws in
+  let region =
+    {
+      o.Opt.Optimizer.region with
+      Ir.Region.certified_no_alias = Analysis.Disamb.pairs cert;
+    }
+  in
+  { o with Opt.Optimizer.cert = Some cert; region }
+
+let witnesses_of (o : Opt.Optimizer.t) =
+  match o.Opt.Optimizer.cert with
+  | None -> []
+  | Some c -> Analysis.Disamb.witnesses c
+
+(* Shift one endpoint's offset set by +1: the claim stops being
+   entailed by the replayed derivation. *)
+let shift_witness_range (o : Opt.Optimizer.t) =
+  match witnesses_of o with
+  | [] -> None
+  | (w : Analysis.Disamb.witness) :: rest ->
+    let off = w.Analysis.Disamb.x.Analysis.Disamb.off in
+    let off' =
+      {
+        off with
+        Analysis.Absint.lo = off.Analysis.Absint.lo + 1;
+        hi = off.Analysis.Absint.hi + 1;
+        rem =
+          (if off.Analysis.Absint.stride = 0 then 0
+           else (off.Analysis.Absint.rem + 1) mod off.Analysis.Absint.stride);
+      }
+    in
+    Some
+      (with_cert o
+         ({ w with Analysis.Disamb.x = { w.Analysis.Disamb.x with off = off' } }
+          :: rest))
+
+(* Widen one endpoint's range until it swallows the other: entailment
+   still holds (the claim only got weaker) but the claimed facts no
+   longer imply disjointness. *)
+let widen_witness_range (o : Opt.Optimizer.t) =
+  let ws = witnesses_of o in
+  match
+    List.partition
+      (fun (w : Analysis.Disamb.witness) ->
+        w.Analysis.Disamb.reason = Analysis.Disamb.Ranges)
+      ws
+  with
+  | [], _ -> None
+  | w :: same, rest ->
+    let fx = w.Analysis.Disamb.x and fy = w.Analysis.Disamb.y in
+    let cx = fx.Analysis.Disamb.off and cy = fy.Analysis.Disamb.off in
+    let off' =
+      {
+        Analysis.Absint.lo = min cx.Analysis.Absint.lo cy.Analysis.Absint.lo;
+        hi =
+          max cx.Analysis.Absint.hi
+            (cy.Analysis.Absint.hi + fy.Analysis.Disamb.width);
+        stride = 1;
+        rem = 0;
+      }
+    in
+    Some
+      (with_cert o
+         (({ w with Analysis.Disamb.x = { fx with off = off' } } :: same)
+          @ rest))
+
+(* Re-anchor one endpoint on a fabricated origin: replay derives a
+   different anchor, so the claim is no longer entailed. *)
+let swap_witness_origin (o : Opt.Optimizer.t) =
+  match witnesses_of o with
+  | [] -> None
+  | (w : Analysis.Disamb.witness) :: rest ->
+    let fx = w.Analysis.Disamb.x in
+    let fx' =
+      {
+        fx with
+        Analysis.Disamb.origin =
+          Analysis.Absint.Opaque fx.Analysis.Disamb.instr;
+      }
+    in
+    Some (with_cert o ({ w with Analysis.Disamb.x = fx' } :: rest))
+
+(* Silently drop a witness (and its pair from the region list): the
+   pair now has neither a dependence edge nor a proof. *)
+let drop_witness (o : Opt.Optimizer.t) =
+  match witnesses_of o with
+  | [] -> None
+  | _ :: rest when o.Opt.Optimizer.cert <> None -> Some (with_cert o rest)
+  | _ -> None
+
+(* Fabricate a witness for a pair that genuinely depends (it carries a
+   Real edge): the certified pair keeps its dependence edge. *)
+let forge_witness (o : Opt.Optimizer.t) =
+  match o.Opt.Optimizer.cert with
+  | None -> None
+  | Some _ -> (
+    let body = o.Opt.Optimizer.region.Ir.Region.source.Ir.Superblock.body in
+    let by_id = Hashtbl.create 64 in
+    List.iter
+      (fun (i : Ir.Instr.t) -> Hashtbl.replace by_id i.Ir.Instr.id i)
+      body;
+    let target =
+      List.find_opt
+        (fun (e : Analysis.Depgraph.edge) ->
+          e.Analysis.Depgraph.kind = Analysis.Depgraph.Real
+          && Hashtbl.mem by_id e.Analysis.Depgraph.first
+          && Hashtbl.mem by_id e.Analysis.Depgraph.second)
+        (Analysis.Depgraph.edges o.Opt.Optimizer.deps)
+    in
+    match target with
+    | None -> None
+    | Some e ->
+      let width id =
+        Option.value
+          (Ir.Instr.mem_width (Hashtbl.find by_id id))
+          ~default:4
+      in
+      let fact instr k =
+        {
+          Analysis.Disamb.instr;
+          width = width instr;
+          origin = Analysis.Absint.Const;
+          scale = 0;
+          off = Analysis.Absint.point k;
+        }
+      in
+      let w =
+        {
+          Analysis.Disamb.x = fact e.Analysis.Depgraph.first 0;
+          y = fact e.Analysis.Depgraph.second 4096;
+          reason = Analysis.Disamb.Ranges;
+        }
+      in
+      Some (with_cert o (w :: witnesses_of o)))
+
+(* Desynchronize the region's certified list from the certificate. *)
+let desync_region_cert (o : Opt.Optimizer.t) =
+  match o.Opt.Optimizer.cert with
+  | None -> None
+  | Some _ ->
+    let region = o.Opt.Optimizer.region in
+    let max_id =
+      List.fold_left
+        (fun acc (i : Ir.Instr.t) -> max acc i.Ir.Instr.id)
+        0 region.Ir.Region.source.Ir.Superblock.body
+    in
+    Some
+      (with_region o
+         {
+           region with
+           Ir.Region.certified_no_alias =
+             (max_id + 1, max_id + 2) :: region.Ir.Region.certified_no_alias;
+         })
+
+(* Point a witness at a non-memory instruction. *)
+let bogus_witness_endpoint (o : Opt.Optimizer.t) =
+  match witnesses_of o with
+  | [] -> None
+  | (w : Analysis.Disamb.witness) :: rest -> (
+    let body = o.Opt.Optimizer.region.Ir.Region.source.Ir.Superblock.body in
+    match
+      List.find_opt (fun (i : Ir.Instr.t) -> not (Ir.Instr.is_memory i)) body
+    with
+    | None -> None
+    | Some i ->
+      let fx =
+        { w.Analysis.Disamb.x with Analysis.Disamb.instr = i.Ir.Instr.id }
+      in
+      Some (with_cert o ({ w with Analysis.Disamb.x = fx } :: rest)))
+
 let mutants (o : Opt.Optimizer.t) =
   List.filter_map
     (fun (m, apply) -> Option.map (fun o' -> (m, o')) (apply o))
@@ -354,6 +550,13 @@ let mutants (o : Opt.Optimizer.t) =
       (Hoist_across_hazard, hoist_across_hazard);
       (Delete_instr, delete_instr);
       (Over_rotate, over_rotate);
+      (Shift_witness_range, shift_witness_range);
+      (Widen_witness_range, widen_witness_range);
+      (Swap_witness_origin, swap_witness_origin);
+      (Drop_witness, drop_witness);
+      (Forge_witness, forge_witness);
+      (Desync_region_cert, desync_region_cert);
+      (Bogus_witness_endpoint, bogus_witness_endpoint);
     ]
 
 type outcome = {

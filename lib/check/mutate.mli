@@ -19,6 +19,13 @@ type mutation =
   | Hoist_across_hazard  (** move a successor into its predecessor's cycle *)
   | Delete_instr  (** drop a body instruction from the region *)
   | Over_rotate  (** increment a ROTATE amount *)
+  | Shift_witness_range  (** shift a claimed offset set off the derivation *)
+  | Widen_witness_range  (** weaken a claim until disjointness fails *)
+  | Swap_witness_origin  (** re-anchor a claimed fact on a bogus origin *)
+  | Drop_witness  (** lose a witness, keeping the pair edge-less *)
+  | Forge_witness  (** certify a pair that carries a Real edge *)
+  | Desync_region_cert  (** region certified list diverges from the cert *)
+  | Bogus_witness_endpoint  (** point a witness at a non-memory instr *)
 
 val mutation_name : mutation -> string
 

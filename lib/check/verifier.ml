@@ -24,6 +24,12 @@ type rule =
   | Mask_uncovered
   | Mask_clobbered
   | Mask_bounds
+  | Cert_endpoints
+  | Cert_derivation
+  | Cert_separation
+  | Cert_edge_kept
+  | Cert_dep_missing
+  | Cert_region_sync
 
 let rule_name = function
   | Def_before_use -> "def_before_use"
@@ -49,6 +55,12 @@ let rule_name = function
   | Mask_uncovered -> "mask_uncovered"
   | Mask_clobbered -> "mask_clobbered"
   | Mask_bounds -> "mask_bounds"
+  | Cert_endpoints -> "cert_endpoints"
+  | Cert_derivation -> "cert_derivation"
+  | Cert_separation -> "cert_separation"
+  | Cert_edge_kept -> "cert_edge_kept"
+  | Cert_dep_missing -> "cert_dep_missing"
+  | Cert_region_sync -> "cert_region_sync"
 
 type violation = {
   rule : rule;
@@ -688,6 +700,28 @@ let verify ~issue_width ~mem_ports ~latency (o : Opt.Optimizer.t) =
           "pair %d,%d executes in reverse without alias detection" e.first
           e.second)
       required);
+
+  (* ---- alias-certification witnesses, replayed independently *)
+  (match o.Opt.Optimizer.cert with
+  | None ->
+    if region.Ir.Region.certified_no_alias <> [] then
+      flag Cert_region_sync
+        "region lists %d certified pairs but the artifact carries no \
+         certificate"
+        (List.length region.Ir.Region.certified_no_alias)
+  | Some cert ->
+    List.iter
+      (fun (v : Witness.violation) ->
+        match v with
+        | Witness.Endpoints d -> flag Cert_endpoints "%s" d
+        | Witness.Derivation d -> flag Cert_derivation "%s" d
+        | Witness.Separation d -> flag Cert_separation "%s" d
+        | Witness.Edge_kept d -> flag Cert_edge_kept "%s" d
+        | Witness.Dep_missing d -> flag Cert_dep_missing "%s" d
+        | Witness.Region_sync d -> flag Cert_region_sync "%s" d)
+      (Witness.check ~cert ~body
+         ~region_certified:region.Ir.Region.certified_no_alias
+         ~deps:o.Opt.Optimizer.deps));
 
   match !violations with
   | [] -> Pass

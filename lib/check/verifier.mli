@@ -52,6 +52,12 @@ type rule =
   | Mask_uncovered  (** reordered pair not covered by set/check bits *)
   | Mask_clobbered  (** protected register reused inside the window *)
   | Mask_bounds  (** mask register index or bit-mask out of range *)
+  | Cert_endpoints  (** witness endpoints malformed (ids, order, widths) *)
+  | Cert_derivation  (** claimed fact not entailed by independent replay *)
+  | Cert_separation  (** claimed facts do not imply disjointness *)
+  | Cert_edge_kept  (** certified pair still carries a dependence edge *)
+  | Cert_dep_missing  (** may-alias pair with neither edge nor witness *)
+  | Cert_region_sync  (** region certified list diverges from certificate *)
 
 val rule_name : rule -> string
 (** Stable snake_case identifier, used in reject histograms and

@@ -7,6 +7,7 @@ type job = {
   tcache_policy : Tcache.Policy.t;
   tcache_capacity : int option;
   verify : Check.Verifier.mode;
+  certify : bool;
   program : unit -> Ir.Program.t;
 }
 
@@ -18,13 +19,14 @@ type outcome = {
 
 let job ?config ?(fuel = 1_000_000_000) ?(unroll = 1)
     ?(tcache_policy = Tcache.Policy.Unbounded) ?tcache_capacity
-    ?(verify = Check.Verifier.Off) ~scheme ~label program =
+    ?(verify = Check.Verifier.Off) ?(certify = false) ~scheme ~label program =
   { label; scheme; config; fuel; unroll; tcache_policy; tcache_capacity;
-    verify; program }
+    verify; certify; program }
 
 let of_bench ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity ?verify
-    ?(scale = 1) ~scheme (b : Workload.Specfp.bench) =
-  job ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity ?verify ~scheme
+    ?certify ?(scale = 1) ~scheme (b : Workload.Specfp.bench) =
+  job ?config ?fuel ?unroll ?tcache_policy ?tcache_capacity ?verify ?certify
+    ~scheme
     ~label:(Printf.sprintf "%s/%s" b.Workload.Specfp.name (Smarq.Scheme.name scheme))
     (fun () -> Workload.Specfp.program ~scale b)
 
@@ -33,7 +35,7 @@ let run_job j =
   let result =
     Smarq.run_program ?config:j.config ~fuel:j.fuel ~unroll:j.unroll
       ~tcache_policy:j.tcache_policy ?tcache_capacity:j.tcache_capacity
-      ~verify:j.verify ~scheme:j.scheme
+      ~verify:j.verify ~certify:j.certify ~scheme:j.scheme
       (j.program ())
   in
   { job = j; result; wall_seconds = Unix.gettimeofday () -. t0 }

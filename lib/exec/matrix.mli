@@ -19,6 +19,7 @@ type job = {
   tcache_capacity : int option;
   verify : Check.Verifier.mode;
       (** static translation validation mode for the job's driver run *)
+  certify : bool;  (** run the static alias certifier in each translation *)
   program : unit -> Ir.Program.t;  (** called in the worker domain *)
 }
 
@@ -35,12 +36,13 @@ val job :
   ?tcache_policy:Tcache.Policy.t ->
   ?tcache_capacity:int ->
   ?verify:Check.Verifier.mode ->
+  ?certify:bool ->
   scheme:Smarq.Scheme.t ->
   label:string ->
   (unit -> Ir.Program.t) ->
   job
 (** Defaults: fuel 1e9, no unrolling, unbounded translation cache,
-    verification off. *)
+    verification and certification off. *)
 
 val of_bench :
   ?config:Vliw.Config.t ->
@@ -49,6 +51,7 @@ val of_bench :
   ?tcache_policy:Tcache.Policy.t ->
   ?tcache_capacity:int ->
   ?verify:Check.Verifier.mode ->
+  ?certify:bool ->
   ?scale:int ->
   scheme:Smarq.Scheme.t ->
   Workload.Specfp.bench ->

@@ -4,11 +4,21 @@ type t = {
   final_exit : Instr.label option;
   ar_window : int;
   assumed_no_alias : (int * int) list;
+  certified_no_alias : (int * int) list;
   source : Superblock.t;
 }
 
-let make ~entry ~bundles ~final_exit ~ar_window ~assumed_no_alias ~source =
-  { entry; bundles; final_exit; ar_window; assumed_no_alias; source }
+let make ~entry ~bundles ~final_exit ~ar_window ~assumed_no_alias
+    ?(certified_no_alias = []) ~source () =
+  {
+    entry;
+    bundles;
+    final_exit;
+    ar_window;
+    assumed_no_alias;
+    certified_no_alias;
+    source;
+  }
 
 let schedule_length t = Array.length t.bundles
 

@@ -18,6 +18,10 @@ type t = {
   ar_window : int;  (** max alias-register offset used + 1 *)
   assumed_no_alias : (int * int) list;
       (** pairs of original instruction ids speculated disjoint *)
+  certified_no_alias : (int * int) list;
+      (** pairs statically {e proven} disjoint by the alias certifier;
+          an alias fault on one of these is a hard soundness error,
+          not a mis-speculation *)
   source : Superblock.t;  (** the superblock this region was built from *)
 }
 
@@ -27,7 +31,9 @@ val make :
   final_exit:Instr.label option ->
   ar_window:int ->
   assumed_no_alias:(int * int) list ->
+  ?certified_no_alias:(int * int) list ->
   source:Superblock.t ->
+  unit ->
   t
 
 val schedule_length : t -> int

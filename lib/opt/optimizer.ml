@@ -14,6 +14,7 @@ type t = {
   hazards : Sched.Hazards.t;
   issue_seq : (int * Ir.Instr.t) list;
   policy_used : Sched.Policy.t;
+  cert : Analysis.Disamb.t option;
 }
 
 type request = {
@@ -31,12 +32,24 @@ let build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
       Some (Analysis.Const_prop.analyze ~body)
     else None
   in
+  (* Eager certification keeps the artifact a pure function of the
+     superblock: both pipelines derive identical witnesses in one shot
+     instead of memoizing on verdict-consultation order. *)
+  let certify_into alias body =
+    if policy.Sched.Policy.certify then begin
+      let cert = Analysis.Disamb.certify ~alias ~body in
+      Analysis.May_alias.set_certified alias (Analysis.Disamb.pairs cert);
+      Some cert
+    end
+    else None
+  in
   let alias =
     P.time profile P.add_alias (fun () ->
         Analysis.May_alias.analyze ~known_alias
           ?const_facts:(facts_for sb.Ir.Superblock.body)
           ~body:sb.Ir.Superblock.body ())
   in
+  ignore (certify_into alias sb.Ir.Superblock.body : Analysis.Disamb.t option);
   let elim =
     Elim.run ~policy ~alias ~body:sb.Ir.Superblock.body ~fresh_id
   in
@@ -48,6 +61,7 @@ let build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
           ?const_facts:(facts_for elim.Elim.body)
           ~body:elim.Elim.body ())
   in
+  let cert = certify_into alias' elim.Elim.body in
   let deps =
     P.time profile P.add_depgraph (fun () ->
         Analysis.Depgraph.build ~body:elim.Elim.body ~alias:alias'
@@ -60,7 +74,7 @@ let build_once ~policy ~issue_width ~mem_ports ~latency ~fresh_id ~known_alias
       ~latency ~fresh_id ~extra_assumed:elim.Elim.assumed_no_alias ~pipeline
       ?profile ?arena ()
   in
-  (outcome, elim, deps)
+  (outcome, elim, deps, cert)
 
 let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
     ?(known_alias = []) ?(pipeline = Sched.Pipeline.Fast) ?profile ?arena sb =
@@ -68,13 +82,24 @@ let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
   let finish ~fell_back ~policy_used
       ( (outcome : Sched.List_sched.outcome),
         (elim : Elim.result),
-        (deps : Analysis.Depgraph.t) ) =
+        (deps : Analysis.Depgraph.t),
+        (cert : Analysis.Disamb.t option) ) =
     Option.iter
       (fun p ->
         Sched.Profile.note_region p ~instrs:(Ir.Superblock.instr_count sb))
       profile;
+    let region = outcome.Sched.List_sched.region in
+    let region =
+      match cert with
+      | None -> region
+      | Some c ->
+        {
+          region with
+          Ir.Region.certified_no_alias = Analysis.Disamb.pairs c;
+        }
+    in
     {
-      region = outcome.Sched.List_sched.region;
+      region;
       alloc_result = outcome.Sched.List_sched.alloc_result;
       stats =
         {
@@ -88,6 +113,7 @@ let optimize ~policy ~issue_width ~mem_ports ~latency ~fresh_id
       hazards = outcome.Sched.List_sched.hazards;
       issue_seq = outcome.Sched.List_sched.issue_seq;
       policy_used;
+      cert;
     }
   in
   let attempt policy =

@@ -34,6 +34,12 @@ type t = {
   policy_used : Sched.Policy.t;
       (** policy of the attempt that actually produced the region —
           differs from the requested policy after an overflow fallback *)
+  cert : Analysis.Disamb.t option;
+      (** alias certificate: proof witnesses for every pair upgraded to
+          no-alias, present iff the producing attempt's policy had
+          [certify] set.  [Check.Verifier] replays these witnesses
+          independently; the region's [certified_no_alias] list is the
+          runtime-facing projection. *)
 }
 
 val optimize :

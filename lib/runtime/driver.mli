@@ -116,6 +116,7 @@ val run :
   ?pipeline:Sched.Pipeline.t ->
   ?verify:Check.Verifier.mode ->
   ?capture:(Opt.Optimizer.request -> unit) ->
+  ?certify:bool ->
   scheme:scheme ->
   Ir.Program.t ->
   result

@@ -45,6 +45,10 @@ type t = {
   mutable overflow_fallbacks : int;
   mutable nonspec_mode_regions : int;
   mutable dropped_edges : int;
+  (* static alias certification *)
+  mutable certified_pairs : int;
+  mutable alias_regs_saved : int;
+  mutable certified_alias_faults : int;
   mutable working_set : Sched.Working_set.t;
   mutable wall_seconds : float;
   mutable translate : Profile.t;
@@ -95,6 +99,9 @@ let create () =
     overflow_fallbacks = 0;
     nonspec_mode_regions = 0;
     dropped_edges = 0;
+    certified_pairs = 0;
+    alias_regs_saved = 0;
+    certified_alias_faults = 0;
     working_set = Sched.Working_set.zero;
     wall_seconds = 0.0;
     translate = Profile.create ();
@@ -122,6 +129,35 @@ let note_region_built t (o : Opt.Optimizer.t) ~ws =
   if ss.Sched.List_sched.used_nonspec_mode then
     t.nonspec_mode_regions <- t.nonspec_mode_regions + 1;
   t.dropped_edges <- t.dropped_edges + ss.Sched.List_sched.dropped_pairs;
+  let cert_pairs = o.Opt.Optimizer.region.Ir.Region.certified_no_alias in
+  t.certified_pairs <- t.certified_pairs + List.length cert_pairs;
+  if cert_pairs <> [] then begin
+    (* endpoints of certified pairs that finished the build without
+       consuming any alias-detection resource — the per-region
+       indicator of slots the certifier saved (the bench experiment
+       measures the working-set delta directly) *)
+    let endpoints = Hashtbl.create 16 in
+    List.iter
+      (fun (a, b) ->
+        Hashtbl.replace endpoints a ();
+        Hashtbl.replace endpoints b ())
+      cert_pairs;
+    let consumes (i : Ir.Instr.t) =
+      match Ir.Instr.annot i with
+      | Ir.Annot.No_annot -> false
+      | Ir.Annot.Queue { p; c; _ } -> p || c
+      | Ir.Annot.Alat { advanced } -> advanced
+      | Ir.Annot.Mask { set_index; check_mask } ->
+        set_index <> None || check_mask <> 0
+    in
+    List.iter
+      (fun (i : Ir.Instr.t) ->
+        if Hashtbl.mem endpoints i.Ir.Instr.id && not (consumes i) then begin
+          Hashtbl.remove endpoints i.Ir.Instr.id;
+          t.alias_regs_saved <- t.alias_regs_saved + 1
+        end)
+      (Ir.Region.instrs o.Opt.Optimizer.region)
+  end;
   t.working_set <- Sched.Working_set.add t.working_set ws
 
 let note_reject t rules =
@@ -205,6 +241,11 @@ let pp ppf t =
   f "anti constraints" t.anti_constraints;
   f "AMOVs (fresh/clear)" (t.amov_fresh + t.amov_clear);
   f "dropped edges" t.dropped_edges;
+  if t.certified_pairs > 0 || t.certified_alias_faults > 0 then begin
+    f "certified no-alias pairs" t.certified_pairs;
+    f "  alias regs saved" t.alias_regs_saved;
+    f "  CERT FAULTS" t.certified_alias_faults
+  end;
   f "alias checks" t.alias_checks;
   Format.fprintf ppf "  %-26s %.2f@." "mem ops / superblock"
     (mem_ops_per_superblock t);

@@ -70,6 +70,16 @@ type t = {
       (** speculated-away may-alias dependence pairs, summed over all
           regions built — the speculation volume behind the rollback
           counters *)
+  mutable certified_pairs : int;
+      (** memory pairs statically certified [No_alias] by the abstract
+          interpreter, summed over all regions built *)
+  mutable alias_regs_saved : int;
+      (** certified-pair endpoints that finished the build without
+          consuming any alias-detection resource (queue slot, ALAT
+          entry, or mask bit) *)
+  mutable certified_alias_faults : int;
+      (** non-injected runtime alias faults on a certified pair —
+          always a soundness bug in the certifier; must stay zero *)
   mutable working_set : Sched.Working_set.t;
   (* host cost *)
   mutable wall_seconds : float;

@@ -558,7 +558,7 @@ let schedule ~sb ~deps ~policy ~issue_width ~mem_ports ~latency ~fresh_id
   let region =
     Ir.Region.make ~entry:sb.Ir.Superblock.entry ~bundles
       ~final_exit:sb.Ir.Superblock.final_exit ~ar_window:(max_offset + 1)
-      ~assumed_no_alias:assumed ~source:sb
+      ~assumed_no_alias:assumed ~source:sb ()
   in
   let mem_ops = List.length (Ir.Superblock.memory_ops sb) in
   let p_bits, c_bits, checks, antis, amov_fresh, amov_clear =

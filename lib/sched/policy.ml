@@ -16,6 +16,7 @@ type t = {
   allow_store_load_forward : bool;
   allow_store_elim : bool;
   static_disambiguation : bool;
+  certify : bool;
 }
 
 let smarq ~ar_count =
@@ -30,6 +31,7 @@ let smarq ~ar_count =
     allow_store_load_forward = true;
     allow_store_elim = true;
     static_disambiguation = false;
+    certify = false;
   }
 
 let naive_order ~ar_count =
@@ -44,6 +46,7 @@ let naive_order ~ar_count =
     allow_store_load_forward = false;
     allow_store_elim = false;
     static_disambiguation = false;
+    certify = false;
   }
 
 let smarq_no_store_reorder ~ar_count =
@@ -65,6 +68,7 @@ let alat () =
     allow_store_load_forward = false;
     allow_store_elim = false;
     static_disambiguation = false;
+    certify = false;
   }
 
 let efficeon () =
@@ -79,6 +83,7 @@ let efficeon () =
     allow_store_load_forward = true;
     allow_store_elim = true;
     static_disambiguation = false;
+    certify = false;
   }
 
 let none () =
@@ -93,10 +98,15 @@ let none () =
     allow_store_load_forward = false;
     allow_store_elim = false;
     static_disambiguation = false;
+    certify = false;
   }
 
 let none_with_analysis () =
   { (none ()) with name = "none+static"; static_disambiguation = true }
+
+(* The name is deliberately left alone: certification changes which
+   dependences exist, not which scheme the region is annotated for. *)
+let with_certify t = { t with certify = true }
 
 let speculates t =
   t.hoist_load_above_store || t.sink_load_below_store

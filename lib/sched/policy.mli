@@ -35,6 +35,11 @@ type t = {
       (** run constant propagation before alias analysis, letting
           direct (constant-base) accesses be disambiguated statically —
           the related-work [13] capability *)
+  certify : bool;
+      (** run the abstract-interpretation alias certifier
+          ([Analysis.Disamb]) and attach proof witnesses to the
+          artifact; certified pairs carry no dependence edge and no
+          alias-register protection *)
 }
 
 val smarq : ar_count:int -> t
@@ -55,6 +60,11 @@ val none_with_analysis : unit -> t
 (** No hardware detection, but static constant-base disambiguation —
     quantifies how far a fast binary-level alias analysis gets without
     any hardware support (related work [13]). *)
+
+val with_certify : t -> t
+(** Enable static alias certification; keeps the policy name, since
+    certification changes which dependences exist, not the annotation
+    scheme. *)
 
 val speculates : t -> bool
 (** True iff any speculation is enabled. *)

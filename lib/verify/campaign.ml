@@ -5,6 +5,7 @@ type config = {
   scale : int;
   fuel : int;
   verify : Check.Verifier.mode;
+  certify : bool;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     scale = 1;
     fuel = 1_000_000_000;
     verify = Check.Verifier.All;
+    certify = false;
   }
 
 type run = {
@@ -36,7 +38,7 @@ let run_program cfg ~name program =
       let report =
         Oracle.check ~fuel:cfg.fuel
           ~fault:(fun ~seed ~rate () -> Fault.plan ~seed ~rate ())
-          ~verify:cfg.verify ~seed ~rate:cfg.rate
+          ~verify:cfg.verify ~certify:cfg.certify ~seed ~rate:cfg.rate
           ~name ~schemes:cfg.schemes (program ())
       in
       List.map (fun entry -> { bench = name; seed; entry }) report.Oracle.entries)
@@ -84,7 +86,8 @@ let json_line cfg r =
      \"spurious_rollbacks\":%d,\"degraded_regions\":%d,\"rollbacks\":%d,\
      \"reoptimizations\":%d,\"pinned_ops\":%d,\"gave_up_regions\":%d,\
      \"total_cycles\":%d,\"verified_regions\":%d,\"rejected_regions\":%d,\
-     \"static_ok\":%b,\"cross_check\":\"%s\"}"
+     \"static_ok\":%b,\"cross_check\":\"%s\",\"certify\":%b,\
+     \"certified_pairs\":%d,\"certified_alias_faults\":%d}"
     r.bench r.entry.Oracle.scheme r.seed cfg.rate
     (match r.entry.Oracle.outcome with
     | Runtime.Driver.Completed -> "completed"
@@ -98,6 +101,8 @@ let json_line cfg r =
     st.Runtime.Stats.verified_regions st.Runtime.Stats.rejected_regions
     (Oracle.entry_static_ok r.entry)
     (cross_check_name (cross_check_of_entry r.entry))
+    cfg.certify st.Runtime.Stats.certified_pairs
+    st.Runtime.Stats.certified_alias_faults
 
 let pp_summary ppf r =
   let total = List.length r.runs in
@@ -128,6 +133,24 @@ let pp_summary ppf r =
     (List.length r.config.seeds)
     (List.length r.config.schemes)
     injected degraded (List.length failed);
+  if r.config.certify then begin
+    let cert_pairs =
+      List.fold_left
+        (fun acc c ->
+          acc + c.entry.Oracle.stats.Runtime.Stats.certified_pairs)
+        0 r.runs
+    in
+    let cert_faults =
+      List.fold_left
+        (fun acc c ->
+          acc + c.entry.Oracle.stats.Runtime.Stats.certified_alias_faults)
+        0 r.runs
+    in
+    Format.fprintf ppf
+      "alias certification: %d pairs certified, %d certified-pair faults%s@."
+      cert_pairs cert_faults
+      (if cert_faults = 0 then "" else " (SOUNDNESS BUG)")
+  end;
   if r.config.verify <> Check.Verifier.Off then
     Format.fprintf ppf
       "static cross-check: %d regions verified; runs: %d both ok, %d static \

@@ -15,11 +15,16 @@ type config = {
   verify : Check.Verifier.mode;
       (** static translation validation inside each driver run; a
           rejected region fails its run's entry like a divergence *)
+  certify : bool;
+      (** run the static alias certifier inside every translation; a
+          non-injected alias fault on a certified pair fails its run's
+          entry like a divergence *)
 }
 
 val default_config : config
 (** Seeds [1; 2; 3], rate 0.05, every scheme in [Smarq.Scheme.all]
-    plus [None_static], scale 1, fuel 1e9, verification on ([All]). *)
+    plus [None_static], scale 1, fuel 1e9, verification on ([All]),
+    certification off. *)
 
 type run = {
   bench : string;

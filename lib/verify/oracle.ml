@@ -12,10 +12,11 @@ type report = {
 }
 
 let entry_static_ok e = e.stats.Runtime.Stats.rejected_regions = 0
+let entry_cert_ok e = e.stats.Runtime.Stats.certified_alias_faults = 0
 
 let entry_ok e =
   e.outcome = Runtime.Driver.Completed
-  && e.divergence = [] && entry_static_ok e
+  && e.divergence = [] && entry_static_ok e && entry_cert_ok e
 
 let ok r = List.for_all entry_ok r.entries
 
@@ -25,7 +26,7 @@ let reference ?(fuel = 200_000_000) program =
   m
 
 let run_scheme ?config ?(fuel = 1_000_000_000) ?tcache_policy
-    ?tcache_capacity ?watchdog ?fault ?verify ~scheme program =
+    ?tcache_capacity ?watchdog ?fault ?verify ?certify ~scheme program =
   let config =
     match config with Some c -> c | None -> Smarq.config_for scheme
   in
@@ -44,7 +45,7 @@ let run_scheme ?config ?(fuel = 1_000_000_000) ?tcache_policy
   in
   let r =
     Runtime.Driver.run ~config ~fuel ?tcache_policy ?tcache_capacity
-      ?watchdog ?hooks ?verify ~scheme:driver_scheme program
+      ?watchdog ?hooks ?verify ?certify ~scheme:driver_scheme program
   in
   let injected =
     match fault with
@@ -53,8 +54,8 @@ let run_scheme ?config ?(fuel = 1_000_000_000) ?tcache_policy
   in
   (r, injected)
 
-let check ?config ?fuel ?interp_fuel ?watchdog ?fault ?verify ?(seed = 1)
-    ?(rate = 0.05) ?(name = "program") ~schemes program =
+let check ?config ?fuel ?interp_fuel ?watchdog ?fault ?verify ?certify
+    ?(seed = 1) ?(rate = 0.05) ?(name = "program") ~schemes program =
   let oracle = reference ?fuel:interp_fuel program in
   let entries =
     List.map
@@ -63,8 +64,8 @@ let check ?config ?fuel ?interp_fuel ?watchdog ?fault ?verify ?(seed = 1)
           Option.map (fun mk -> mk ~seed ~rate ()) fault
         in
         let r, injected =
-          run_scheme ?config ?fuel ?watchdog ?fault:plan ?verify ~scheme
-            program
+          run_scheme ?config ?fuel ?watchdog ?fault:plan ?verify ?certify
+            ~scheme program
         in
         let divergence =
           match r.Runtime.Driver.outcome with
@@ -93,7 +94,8 @@ let check ?config ?fuel ?interp_fuel ?watchdog ?fault ?verify ?(seed = 1)
 
 let pp_entry ppf e =
   let st = e.stats in
-  Format.fprintf ppf "%-14s %-9s injected %4d, spurious %4d, degraded %2d%s%s"
+  Format.fprintf ppf
+    "%-14s %-9s injected %4d, spurious %4d, degraded %2d%s%s%s"
     e.scheme
     (match e.outcome with
     | Runtime.Driver.Completed -> "completed"
@@ -105,6 +107,11 @@ let pp_entry ppf e =
      else
        Printf.sprintf ", STATIC REJECT: %d/%d regions"
          st.Runtime.Stats.rejected_regions st.Runtime.Stats.verified_regions)
+    (if entry_cert_ok e then ""
+     else
+       Printf.sprintf ", CERT FAULTS: %d on %d certified pairs"
+         st.Runtime.Stats.certified_alias_faults
+         st.Runtime.Stats.certified_pairs)
     (match e.divergence with
     | [] -> ", state = oracle"
     | d :: _ -> Printf.sprintf ", DIVERGED: %s" d)

@@ -28,6 +28,10 @@ val entry_static_ok : entry -> bool
 (** The run's static verifier rejected no region (vacuously true with
     verification off). *)
 
+val entry_cert_ok : entry -> bool
+(** No non-injected alias fault landed on a statically certified pair
+    (vacuously true with certification off). *)
+
 val entry_ok : entry -> bool
 (** Completed, converged to the oracle's state, and no static
     rejections — the dynamic and static verdicts must agree that the
@@ -47,6 +51,7 @@ val run_scheme :
   ?watchdog:int ->
   ?fault:Fault.plan ->
   ?verify:Check.Verifier.mode ->
+  ?certify:bool ->
   scheme:Smarq.Scheme.t ->
   Ir.Program.t ->
   Runtime.Driver.result * int
@@ -63,6 +68,7 @@ val check :
   ?watchdog:int ->
   ?fault:(seed:int -> rate:float -> unit -> Fault.plan) ->
   ?verify:Check.Verifier.mode ->
+  ?certify:bool ->
   ?seed:int ->
   ?rate:float ->
   ?name:string ->

@@ -97,6 +97,78 @@ let test_static_still_sound () =
     then Alcotest.failf "seed %d diverged under none+static" seed
   done
 
+(* Cross-base disambiguation edge cases: both bases must resolve to
+   constants, and the byte ranges decide the verdict exactly. *)
+
+let test_cross_base_adjacent_ranges () =
+  reset_ids ();
+  (* [0x1000, 0x1008) and [0x1008, 0x1010): touching, not overlapping *)
+  let m1 = movi (r 1) 0x1000 in
+  let m2 = movi (r 2) 0x1008 in
+  let s1 = st ~width:8 (I.Imm 1) (r 1) 0 in
+  let l1 = ld ~width:8 (f 0) (r 2) 0 in
+  let body = [ m1; m2; s1; l1 ] in
+  let precise = MA.analyze ~const_facts:(CP.analyze ~body) ~body () in
+  Alcotest.check check_verdict "adjacent ranges disjoint" MA.No_alias
+    (MA.verdict precise s1 l1);
+  (* one byte of overlap through the displacement *)
+  reset_ids ();
+  let m1 = movi (r 1) 0x1000 in
+  let m2 = movi (r 2) 0x1008 in
+  let s1 = st ~width:8 (I.Imm 1) (r 1) 1 in
+  let l1 = ld ~width:8 (f 0) (r 2) 0 in
+  let body = [ m1; m2; s1; l1 ] in
+  let precise = MA.analyze ~const_facts:(CP.analyze ~body) ~body () in
+  Alcotest.check check_verdict "one-byte overlap is must" MA.Must_alias
+    (MA.verdict precise s1 l1)
+
+let test_cross_base_derived_constants () =
+  reset_ids ();
+  (* bases built by arithmetic over constants, not straight Movs *)
+  let m1 = movi (r 1) 0x1000 in
+  let a1 = mk (I.Binop (I.Add, r 2, I.Reg (r 1), I.Imm 0x100)) in
+  let a2 = mk (I.Binop (I.Shl, r 3, I.Reg (r 1), I.Imm 1)) in
+  let s1 = st ~width:4 (I.Imm 7) (r 2) 0 in
+  let l1 = ld ~width:4 (f 0) (r 3) 0 in
+  let body = [ m1; a1; a2; s1; l1 ] in
+  let precise = MA.analyze ~const_facts:(CP.analyze ~body) ~body () in
+  Alcotest.check check_verdict "derived constant bases disjoint" MA.No_alias
+    (MA.verdict precise s1 l1)
+
+let test_cross_base_unknown_side_stays_may () =
+  reset_ids ();
+  (* r2 is never defined in the body: no constant fact, verdict May *)
+  let m1 = movi (r 1) 0x1000 in
+  let s1 = st ~width:8 (I.Imm 1) (r 1) 0 in
+  let l1 = ld ~width:8 (f 0) (r 2) 0 in
+  let body = [ m1; s1; l1 ] in
+  let precise = MA.analyze ~const_facts:(CP.analyze ~body) ~body () in
+  Alcotest.check check_verdict "unknown base stays may" MA.May_alias
+    (MA.verdict precise s1 l1)
+
+let test_certified_set_upgrades_only_may () =
+  reset_ids ();
+  (* set_certified flips a May verdict to No_alias but can never
+     override a constant-exact Must_alias *)
+  let m1 = movi (r 1) 0x1000 in
+  let m2 = movi (r 2) 0x1000 in
+  let s1 = st ~width:8 (I.Imm 1) (r 1) 0 in
+  let l1 = ld ~width:8 (f 0) (r 2) 0 in
+  let l2 = ld ~width:8 (f 1) (r 3) 0 in
+  let body = [ m1; m2; s1; l1; l2 ] in
+  let precise = MA.analyze ~const_facts:(CP.analyze ~body) ~body () in
+  MA.set_certified precise
+    [ (s1.I.id, l1.I.id); (s1.I.id, l2.I.id) ];
+  Alcotest.check check_verdict "must-alias immune to certification"
+    MA.Must_alias (MA.verdict precise s1 l1);
+  Alcotest.check check_verdict "may-alias upgraded by certification"
+    MA.No_alias (MA.verdict precise s1 l2);
+  Alcotest.(check bool) "certified pair queryable both ways" true
+    (MA.certified precise l2.I.id s1.I.id);
+  MA.set_certified precise [];
+  Alcotest.check check_verdict "reset clears the certified set"
+    MA.May_alias (MA.verdict precise s1 l2)
+
 let suite =
   ( "const-prop",
     [
@@ -106,4 +178,10 @@ let suite =
       case "overlapping constants are must-alias" test_direct_must_alias;
       case "policy gate frees direct reordering" test_policy_gates_static;
       case "static scheme stays exact" test_static_still_sound;
+      case "cross-base adjacent ranges" test_cross_base_adjacent_ranges;
+      case "cross-base derived constants" test_cross_base_derived_constants;
+      case "cross-base unknown side stays may"
+        test_cross_base_unknown_side_stays_may;
+      case "certified set upgrades only may"
+        test_certified_set_upgrades_only_may;
     ] )

@@ -86,7 +86,7 @@ let test_window_guard () =
   let sb = sb_of [ l1 ] in
   let region =
     Ir.Region.make ~entry:"t" ~bundles:[| [ l1 ] |] ~final_exit:None
-      ~ar_window:100 ~assumed_no_alias:[] ~source:sb
+      ~ar_window:100 ~assumed_no_alias:[] ~source:sb ()
   in
   let machine = Vliw.Machine.create () in
   Alcotest.check_raises "window too large"
